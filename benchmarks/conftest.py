@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every file in this directory regenerates one artefact of the paper's
+evaluation (a figure's series or a section-5 number), prints it in the
+shape the paper reports, asserts the qualitative content, and times the
+regeneration under pytest-benchmark.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+The printed tables are the reproduction output; EXPERIMENTS.md records
+the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def log_grid(lo: float, hi: float, points: int = 9) -> list[int]:
+    """Logarithmic N grid like the paper's figure axes."""
+    return [int(n) for n in np.logspace(np.log10(lo), np.log10(hi), points)]
+
+
+def emit(title: str, table: str) -> None:
+    """Print one reproduced artefact (visible with pytest -s; also kept
+    in the captured output of the benchmark run)."""
+    print(f"\n=== {title} ===")
+    print(table)

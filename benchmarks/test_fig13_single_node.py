@@ -1,0 +1,60 @@
+"""F13 — Figure 13: single-node (1 host, 4 boards) speed vs N.
+
+Paper content reproduced: speed in Gflops as a function of N for the
+three softening choices; >1 Tflops at N = 2e5; speed practically
+independent of the softening.
+"""
+
+import pytest
+
+from repro.config import single_node_machine
+from repro.io import format_table
+from repro.perfmodel import MachineModel
+
+from .conftest import emit, log_grid
+
+SOFTENINGS = ("constant", "n13", "4overN")
+
+
+def regenerate():
+    models = {s: MachineModel(single_node_machine(), softening=s) for s in SOFTENINGS}
+    grid = log_grid(256, 2.0e6, 12)
+    rows = [
+        [n] + [models[s].speed_gflops(n) for s in SOFTENINGS] for n in grid
+    ]
+    return grid, rows, models
+
+
+def test_fig13_single_node_speed(benchmark):
+    grid, rows, models = benchmark(regenerate)
+    emit(
+        "Figure 13: 1-host 4-board speed [Gflops] vs N",
+        format_table(["N", "eps=1/64", "eps=1/(8(2N)^1/3)", "eps=4/N"], rows),
+    )
+    # anchor: better than 1 Tflops at N = 2e5
+    assert models["constant"].speed_gflops(200_000) > 1000.0
+    # speed practically independent of the softening choice
+    for row in rows:
+        speeds = row[1:]
+        assert max(speeds) / min(speeds) < 1.25
+    # monotone growth over the plotted range
+    series = [row[1] for row in rows]
+    assert all(a < b for a, b in zip(series, series[1:]))
+
+
+def test_fig13_speed_vs_peak(benchmark):
+    model = MachineModel(single_node_machine())
+
+    def efficiency_curve():
+        return [model.efficiency(n) for n in log_grid(1000, 2.0e6, 8)]
+
+    effs = benchmark(efficiency_curve)
+    emit(
+        "Figure 13 supplement: fraction of the 3.94 Tflops single-node peak",
+        format_table(
+            ["N", "efficiency"],
+            list(zip(log_grid(1000, 2.0e6, 8), effs)),
+        ),
+    )
+    assert effs[-1] > 0.5  # the machine is well-used at large N
+    assert all(0 < e < 1 for e in effs)

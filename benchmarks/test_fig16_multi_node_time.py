@@ -1,0 +1,64 @@
+"""F16 — Figure 16: 4-node time per particle-step vs N.
+
+Paper content reproduced: "for small N (N < 1e4), the calculation time
+is inversely proportional to the number of particles N ... the
+communication between hosts, which takes constant time per one
+blockstep, dominates the total cost in this regime."
+"""
+
+import numpy as np
+
+from repro.config import cluster_machine
+from repro.io import format_table
+from repro.perfmodel import MachineModel
+
+from .conftest import emit, log_grid
+
+
+def regenerate():
+    model = MachineModel(cluster_machine(4))
+    grid = log_grid(1000, 1.0e6, 10)
+    rows = []
+    for n in grid:
+        b = model.step_time_breakdown(n)
+        rows.append((n, b.total_us, b.sync_us, b.sync_us / b.total_us))
+    return model, rows
+
+
+def test_fig16_four_node_wall(benchmark):
+    model, rows = benchmark(regenerate)
+    emit(
+        "Figure 16: 4-node time per particle-step [us] vs N",
+        format_table(["N", "time/step", "sync part", "sync fraction"], rows),
+    )
+    # latency wall: sync dominates at small N ...
+    assert rows[0][3] > 0.5
+    # ... and becomes negligible at large N
+    assert rows[-1][3] < 0.1
+    # near-1/N fall-off at small N: fit the log-log slope over N<1e4
+    small = [(n, t) for n, t, _, _ in rows if n <= 10_000]
+    slope = np.polyfit(
+        np.log([n for n, _ in small]), np.log([t for _, t in small]), 1
+    )[0]
+    print(f"log-log slope for N<1e4: {slope:.2f} (paper: ~ -1)")
+    assert -1.1 < slope < -0.6
+
+
+def test_fig16_sync_is_pure_latency(benchmark):
+    # the sync component is independent of N per blockstep; per step it
+    # must scale exactly as 1/n_b
+    model = MachineModel(cluster_machine(4))
+
+    def sync_per_blockstep():
+        return [
+            model.step_time_breakdown(n).sync_us
+            * model.blocks.mean_block_size(n)
+            for n in (2_000, 20_000, 200_000)
+        ]
+
+    per_bs = benchmark(sync_per_blockstep)
+    assert max(per_bs) / min(per_bs) < 1.001
+    emit(
+        "Figure 16 supplement: per-blockstep sync cost [us] (constant by design)",
+        format_table(["N", "sync/blockstep"], list(zip((2000, 20000, 200000), per_bs))),
+    )

@@ -1,0 +1,66 @@
+"""F18 — Figure 18: 16-node (full machine) time per particle-step vs N.
+
+Paper content reproduced: the 1/N region below N ~ 1e5 ("the main
+bottleneck is again the synchronization time"), with the multi-cluster
+overhead "far more severe" than the single-cluster case.
+"""
+
+import numpy as np
+
+from repro.config import full_machine
+from repro.io import format_table
+from repro.perfmodel import MachineModel
+
+from .conftest import emit, log_grid
+
+
+def regenerate():
+    model = MachineModel(full_machine(4))
+    grid = log_grid(3000, 2.0e6, 10)
+    rows = []
+    for n in grid:
+        b = model.step_time_breakdown(n)
+        overhead = b.sync_us + b.exchange_us
+        rows.append((n, b.total_us, overhead, overhead / b.total_us))
+    return model, rows
+
+
+def test_fig18_full_machine_wall(benchmark):
+    model, rows = benchmark(regenerate)
+    emit(
+        "Figure 18: 16-node time per particle-step [us] vs N",
+        format_table(["N", "time/step", "sync+exchange", "overhead fraction"], rows),
+    )
+    # overhead dominated at small N
+    assert rows[0][3] > 0.5
+    # latency region: steep fall-off below 1e5
+    small = [(n, t) for n, t, _, _ in rows if n <= 100_000]
+    slope = np.polyfit(
+        np.log([n for n, _ in small]), np.log([t for _, t in small]), 1
+    )[0]
+    print(f"log-log slope for N<1e5: {slope:.2f} (paper: ~ -1)")
+    assert slope < -0.5
+
+
+def test_fig18_multi_cluster_overhead_severity(benchmark):
+    """'this synchronization overhead is far more severe, because (a)
+    the calculation speed itself becomes faster, (b) overhead of one
+    synchronization operation becomes larger, and (c) the number of
+    synchronization operations itself is larger'."""
+
+    def compare(n=30_000):
+        single = MachineModel(full_machine(1)).step_time_breakdown(n)
+        multi = MachineModel(full_machine(4)).step_time_breakdown(n)
+        return single, multi
+
+    single, multi = benchmark(compare)
+    ov_single = single.sync_us
+    ov_multi = multi.sync_us + multi.exchange_us
+    emit(
+        "Figure 18 supplement: per-step comm overhead at N=3e4 [us]",
+        format_table(
+            ["config", "comm overhead/step"],
+            [("4 nodes (1 cluster)", ov_single), ("16 nodes (4 clusters)", ov_multi)],
+        ),
+    )
+    assert ov_multi > 3.0 * ov_single

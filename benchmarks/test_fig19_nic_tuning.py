@@ -1,0 +1,74 @@
+"""F19 — Figure 19: NIC/host tuning (NS 83820 + Athlon vs Intel
+82540EM + P4), plus the section-4.4 NIC survey and the Myrinet what-if.
+
+Paper content reproduced: the tuned system wins over the whole range,
+by more at small N; 36.0 Tflops at N = 1.8M; Tigon 2 helps bandwidth
+but barely helps latency-bound speed.
+"""
+
+import pytest
+
+from repro.config import (
+    HOST_P4,
+    NIC_INTEL82540EM,
+    NIC_MYRINET,
+    NIC_TIGON2,
+    full_machine,
+)
+from repro.io import format_table
+from repro.perfmodel import MachineModel
+
+from .conftest import emit, log_grid
+
+
+def regenerate():
+    base = MachineModel(full_machine(4))
+    tuned = MachineModel(full_machine(4).with_nic(NIC_INTEL82540EM).with_host(HOST_P4))
+    rows = []
+    for n in log_grid(10_000, 1.8e6, 10):
+        s0 = base.speed_gflops(n) / 1e3
+        s1 = tuned.speed_gflops(n) / 1e3
+        rows.append((n, s0, s1, 100.0 * (s1 / s0 - 1.0)))
+    return base, tuned, rows
+
+
+def test_fig19_nic_tuning(benchmark):
+    base, tuned, rows = benchmark(regenerate)
+    emit(
+        "Figure 19: NS83820+Athlon vs Intel82540EM+P4 [Tflops]",
+        format_table(["N", "NS 83820", "Intel 82540EM", "gain %"], rows),
+    )
+    # upper curve dominates everywhere
+    assert all(s1 > s0 for _, s0, s1, _ in rows)
+    # improvement larger at small N
+    assert rows[0][3] > rows[-1][3]
+    assert rows[0][3] > 50.0
+    # headline: ~36 Tflops at 1.8M
+    assert tuned.speed_gflops(1_800_000) / 1e3 == pytest.approx(36.0, rel=0.15)
+
+
+def test_fig19_nic_survey(benchmark):
+    """Section 4.4's card-by-card results: Tigon 2's throughput without
+    latency buys little; Myrinet (unaffordable that year) would have."""
+
+    def survey(n=30_000):
+        out = {}
+        for nic in (None, NIC_TIGON2, NIC_INTEL82540EM, NIC_MYRINET):
+            machine = full_machine(4) if nic is None else full_machine(4).with_nic(nic)
+            name = "ns83820" if nic is None else nic.name
+            out[name] = MachineModel(machine).speed_gflops(n)
+        return out
+
+    speeds = benchmark(survey)
+    emit(
+        "Section 4.4 NIC survey at N=3e4 [Gflops]",
+        format_table(["NIC", "speed"], sorted(speeds.items())),
+    )
+    # Tigon 2: "somewhat better throughput, but not much improvement in
+    # the latency" -> small gain at latency-bound N
+    gain_tigon = speeds["tigon2"] / speeds["ns83820"] - 1
+    gain_intel = speeds["intel82540em"] / speeds["ns83820"] - 1
+    gain_myri = speeds["myrinet"] / speeds["ns83820"] - 1
+    assert gain_tigon < 0.3 * gain_intel
+    # Myrinet: "latency 5-10 times shorter" -> the biggest win
+    assert gain_myri > gain_intel

@@ -1,0 +1,106 @@
+"""H1 — the hardware emulator: machine-size invariance cost and the
+block-floating-point vs GRAPE-4 contrast (section 3.4's design claims
+as measurable artefacts)."""
+
+import numpy as np
+
+from repro.forces import DirectSummation
+from repro.hardware import Grape6Emulator, grape4_sum
+from repro.io import format_table
+from repro.models import plummer_model
+
+from .conftest import emit
+
+EPS2 = (1.0 / 64.0) ** 2
+
+
+def test_emulated_force_call(benchmark):
+    """Cost of one fully emulated force evaluation (fixed point,
+    block floating point, exact reductions) on a 32-chip board."""
+    system = plummer_model(96, seed=31)
+    emu = Grape6Emulator(EPS2, boards=1)
+    emu.set_j_particles(system.pos, system.vel, system.mass)
+    idx = np.arange(system.n)
+
+    res = benchmark(emu.forces_on, system.pos, system.vel, idx)
+
+    ref = DirectSummation(EPS2)
+    ref.set_j_particles(system.pos, system.vel, system.mass)
+    exact = ref.forces_on(system.pos, system.vel, idx)
+    rel = np.linalg.norm(res.acc - exact.acc, axis=1) / np.linalg.norm(
+        exact.acc, axis=1
+    )
+    emit(
+        "Emulator accuracy vs float64 (N=96)",
+        format_table(
+            ["max rel acc error", "exponent retries"],
+            [(f"{rel.max():.2e}", emu.stats.exponent_retries)],
+        ),
+    )
+    assert rel.max() < 1e-6
+
+
+def test_machine_size_invariance(benchmark):
+    """Bit-identical forces across board counts, timed across the
+    partitionings."""
+    system = plummer_model(64, seed=32)
+    idx = np.arange(system.n)
+
+    def all_partitions():
+        out = []
+        for boards in (1, 2, 4):
+            emu = Grape6Emulator(EPS2, boards=boards)
+            emu.set_j_particles(system.pos, system.vel, system.mass)
+            out.append(emu.forces_on(system.pos, system.vel, idx))
+        return out
+
+    results = benchmark.pedantic(all_partitions, rounds=1, iterations=1)
+    for other in results[1:]:
+        np.testing.assert_array_equal(results[0].acc, other.acc)
+        np.testing.assert_array_equal(results[0].pot, other.pot)
+    print("forces bit-identical across 1/2/4 boards: True")
+
+
+def test_grape4_vs_grape6_summation(benchmark):
+    """The design contrast: GRAPE-4-style float summation varies with
+    the partitioning; GRAPE-6 block floating point does not."""
+    rng = np.random.default_rng(33)
+    contribs = rng.normal(0, 1, (512, 3)) * np.logspace(0, -8, 512)[:, None]
+
+    def grape4_spread():
+        sums = [grape4_sum(contribs, b) for b in (1, 2, 4, 8)]
+        spread = max(
+            float(np.max(np.abs(a - b))) for a in sums for b in sums
+        )
+        return spread
+
+    spread = benchmark(grape4_spread)
+    emit(
+        "GRAPE-4 float summation: result spread across board counts",
+        format_table(["max |difference|"], [(f"{spread:.3e}",)]),
+    )
+    assert spread > 0.0  # order-dependent round-off, as the paper says
+
+
+def test_hardware_selftest(benchmark):
+    """The acceptance suite real installations run: deterministic test
+    vectors through every pipeline, checked for machine-size invariance
+    and float64 agreement."""
+    from repro.hardware import run_selftest
+
+    report = benchmark.pedantic(run_selftest, rounds=1, iterations=1)
+    emit(
+        "Hardware self-test",
+        format_table(
+            ["particles", "boards", "max acc err", "max pot err", "invariant", "pass"],
+            [(
+                report.n_particles,
+                str(report.boards_tested),
+                f"{report.max_rel_acc_error:.2e}",
+                f"{report.max_rel_pot_error:.2e}",
+                report.partition_invariant,
+                report.passed,
+            )],
+        ),
+    )
+    assert report.passed

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Planetesimal accretion: the Kuiper-belt application's full physics.
+
+The production run behind section 5's first application (Kokubo et
+al.'s planetesimal simulations) lets bodies merge on contact and
+follows the growth of the largest body — runaway accretion.  This
+example runs that pipeline at laptop scale: a dense annulus of
+planetesimals with inflated radii (the standard trick to compress the
+collision timescale), integrated with block timesteps and perfect
+accretion.
+
+Usage:  python examples/planetesimal_accretion.py [N]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.core.encounters import AccretionSimulation
+from repro.io import format_table
+from repro.models import kuiper_belt_model
+
+
+def main(n: int = 120) -> None:
+    print(f"# planetesimal accretion, N = {n} (+ central star)")
+    # a dynamically hot, dense ring so collisions happen within a few
+    # orbits; inflated radii compress the collision time further
+    system = kuiper_belt_model(
+        n, seed=11, r_inner=0.95, r_outer=1.05, disc_mass=5.0e-3, ecc_sigma=0.05,
+        inc_sigma=0.02,
+    )
+    radii = np.full(system.n, 8.0e-3)
+    radii[0] = 5.0e-2  # the star's capture radius
+
+    sim = AccretionSimulation(system, radii, eps2=1.0e-8, dt_max=1.0 / 64.0)
+    rows = []
+    for orbit in (1, 2, 4, 6):
+        sim.run(orbit * 2.0 * np.pi)
+        m_max = float(sim.system.mass[1:].max()) if sim.n > 1 else float("nan")
+        rows.append((orbit, sim.n - 1, sim.stats.mergers, f"{m_max:.2e}"))
+    print(format_table(
+        ("orbits", "planetesimals left", "mergers", "largest body mass"), rows))
+
+    print(f"\ntotal mass conserved: {sim.system.total_mass:.10f} (started at 1 + disc)")
+    if sim.stats.events:
+        t_first = sim.stats.events[0].t
+        print(f"first merger at t = {t_first:.2f} ({t_first/(2*np.pi):.2f} orbits)")
+    print("\n(the paper-scale run followed 1.8M planetesimals for 21,120")
+    print(" dynamical times at 33.4 Tflops — the same loop, 10^4x bigger.)")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 120)

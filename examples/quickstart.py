@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quickstart: integrate a small star cluster with the paper's scheme.
+
+Runs the benchmark workload of section 4 at laptop scale: an equal-mass
+Plummer model in Heggie units, integrated for one N-body time unit with
+the 4th-order Hermite individual (block) timestep integrator, using the
+constant softening eps = 1/64.  Prints the blockstep statistics the
+performance model is built from and verifies energy conservation.
+
+Usage:  python examples/quickstart.py [N]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro import (
+    BlockTimestepIntegrator,
+    EnergyDiagnostics,
+    constant_softening,
+    plummer_model,
+)
+from repro.analysis import run_speed, timestep_census
+
+
+def main(n: int = 512) -> None:
+    print(f"# GRAPE-6 reproduction quickstart: Plummer model, N = {n}")
+    eps = constant_softening(n)
+    system = plummer_model(n, seed=1)
+
+    diagnostics = EnergyDiagnostics(eps2=eps * eps)
+    initial = diagnostics.measure(system, 0.0)
+    print(f"initial energy  E = {initial.total:+.6f} (Heggie units expect ~ -0.25)")
+    print(f"virial ratio   -2T/U = {initial.virial_ratio:.4f}")
+
+    integrator = BlockTimestepIntegrator(system, eps2=eps * eps)
+    t_start = time.perf_counter()
+    stats = integrator.run(1.0)
+    wall = time.perf_counter() - t_start
+
+    synced = integrator.synchronize(1.0)
+    final = diagnostics.measure(synced, 1.0)
+
+    print(f"\nintegrated to t = 1.0 in {wall:.2f} s of wall clock")
+    print(f"energy error   |dE/E| = {diagnostics.relative_error():.2e}")
+    print(f"blocksteps            = {stats.blocksteps}")
+    print(f"particle steps        = {stats.particle_steps}")
+    print(f"mean block size       = {stats.mean_block_size:.1f}"
+          f"  ({stats.mean_block_size / n:.1%} of N — 'roughly proportional to N')")
+
+    census = timestep_census(system)
+    print(f"timestep levels       = 2^-{census.levels.min()} .. 2^-{census.levels.max()}")
+    print(f"shared-step penalty   = {census.shared_step_penalty:.0f}x"
+          "  (the paper's >=100x argument, small N is milder)")
+
+    speed = run_speed(stats, wall)
+    print(f"\nthis host sustains    {speed.sustained_gflops:.3f} Gflops"
+          " at the paper's 57-op accounting")
+    print("(GRAPE-6 sustained 35,300 Gflops on the same algorithm.)")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 512)

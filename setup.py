@@ -1,0 +1,13 @@
+"""Setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+package can be installed in environments without the ``wheel`` package
+(``pip install -e .`` needs it to build PEP 660 editable wheels with
+older setuptools).  In such environments use::
+
+    python setup.py develop
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""Run analysis: conserved quantities, structure, timestep statistics,
+and speed metrics.
+
+These are the host-side "on-the-fly analysis" tasks the paper assigns
+to the frontend ("The frontend processors perform all other operations,
+such as the time integration of the orbits of particles, I/O,
+on-the-fly analysis etc.").
+"""
+
+from .lagrange import core_radius_casertano_hut, lagrangian_radii
+from .timestep_stats import TimestepCensus, timestep_census
+from .relaxation import half_mass_relaxation_time, crossing_time
+from .profiles import RadialProfile, radial_profile, velocity_dispersion
+from .binaries import Binary, find_binaries, hard_binaries
+from .speed import RunSpeed, run_speed
+
+__all__ = [
+    "lagrangian_radii",
+    "core_radius_casertano_hut",
+    "TimestepCensus",
+    "timestep_census",
+    "half_mass_relaxation_time",
+    "crossing_time",
+    "Binary",
+    "find_binaries",
+    "hard_binaries",
+    "RadialProfile",
+    "radial_profile",
+    "velocity_dispersion",
+    "RunSpeed",
+    "run_speed",
+]

@@ -1,0 +1,100 @@
+"""Binary-star detection and hardness classification.
+
+The binary-black-hole application (section 5) is fundamentally a story
+about one binary's orbital elements; collisional codes additionally
+monitor the stellar binaries that form dynamically (they drive core
+evolution).  This module finds bound pairs in a snapshot and classifies
+them against the Heggie hard/soft boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.kepler import OrbitalElements, elements_from_state
+from ..core.particles import ParticleSystem
+from .profiles import velocity_dispersion
+
+
+@dataclass(frozen=True)
+class Binary:
+    """One detected bound pair."""
+
+    i: int
+    j: int
+    elements: OrbitalElements
+    #: Binding energy of the pair [system units], negative.
+    binding_energy: float
+
+    def hardness(self, mean_stellar_mass: float, sigma_1d: float) -> float:
+        """|E_bind| over the mean field-star kinetic energy; > 1 is a
+        "hard" binary (heats the cluster when scattered), < 1 soft."""
+        mean_kinetic = 1.5 * mean_stellar_mass * sigma_1d**2
+        return abs(self.binding_energy) / mean_kinetic if mean_kinetic > 0 else np.inf
+
+
+def find_binaries(
+    system: ParticleSystem,
+    max_semi_major_axis: float = 0.1,
+    mutual_nearest_only: bool = True,
+) -> list[Binary]:
+    """Detect bound pairs by mutual-nearest-neighbour analysis.
+
+    For each particle, take its nearest neighbour; if the pair is
+    mutually nearest (or ``mutual_nearest_only`` is off), bound, and
+    tighter than ``max_semi_major_axis``, it is reported.  O(N^2)
+    neighbour search, fine at analysis scale.
+    """
+    n = system.n
+    if n < 2:
+        return []
+    pos = system.pos
+    d2 = np.sum((pos[:, None, :] - pos[None, :, :]) ** 2, axis=2)
+    np.fill_diagonal(d2, np.inf)
+    nearest = np.argmin(d2, axis=1)
+
+    binaries: list[Binary] = []
+    seen: set[tuple[int, int]] = set()
+    for i in range(n):
+        j = int(nearest[i])
+        if mutual_nearest_only and int(nearest[j]) != i:
+            continue
+        key = (min(i, j), max(i, j))
+        if key in seen:
+            continue
+        seen.add(key)
+        dx = pos[j] - pos[i]
+        dv = system.vel[j] - system.vel[i]
+        gm = float(system.mass[i] + system.mass[j])
+        if gm <= 0:
+            continue
+        r = float(np.linalg.norm(dx))
+        energy_spec = 0.5 * float(dv @ dv) - gm / r
+        if energy_spec >= 0.0:
+            continue  # unbound flyby
+        elements = elements_from_state(dx, dv, gm)
+        if elements.semi_major_axis > max_semi_major_axis:
+            continue
+        mu = system.mass[i] * system.mass[j] / gm  # reduced mass
+        binaries.append(
+            Binary(
+                i=key[0],
+                j=key[1],
+                elements=elements,
+                binding_energy=float(mu * energy_spec),
+            )
+        )
+    return sorted(binaries, key=lambda b: b.binding_energy)
+
+
+def hard_binaries(system: ParticleSystem, **kwargs) -> list[Binary]:
+    """Binaries above the Heggie hard/soft boundary of this snapshot."""
+    sigma = velocity_dispersion(system)
+    mean_mass = system.total_mass / system.n
+    return [
+        b
+        for b in find_binaries(system, **kwargs)
+        if b.hardness(mean_mass, sigma) > 1.0
+    ]

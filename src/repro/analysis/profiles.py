@@ -1,0 +1,106 @@
+"""Radial structure profiles: density, velocity dispersion, anisotropy.
+
+The on-the-fly analysis a production GRAPE host performs between
+blocksteps: radially binned density and kinematics, the observables the
+binary-black-hole run tracks (core depletion, dispersion cusp).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.particles import ParticleSystem
+
+
+@dataclass
+class RadialProfile:
+    """Radially binned structure of a snapshot."""
+
+    r_inner: np.ndarray
+    r_outer: np.ndarray
+    count: np.ndarray
+    density: np.ndarray
+    sigma_radial: np.ndarray
+    sigma_tangential: np.ndarray
+
+    @property
+    def r_mid(self) -> np.ndarray:
+        return 0.5 * (self.r_inner + self.r_outer)
+
+    @property
+    def anisotropy(self) -> np.ndarray:
+        """Binney beta = 1 - sigma_t^2 / (2 sigma_r^2); 0 isotropic,
+        +1 fully radial, -inf fully tangential."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            beta = 1.0 - self.sigma_tangential**2 / (2.0 * self.sigma_radial**2)
+        return np.asarray(beta)
+
+
+def radial_profile(
+    system: ParticleSystem,
+    n_bins: int = 20,
+    center: np.ndarray | None = None,
+    log_bins: bool = True,
+    r_min: float | None = None,
+    r_max: float | None = None,
+) -> RadialProfile:
+    """Bin the snapshot into radial shells about ``center``.
+
+    Density is mass per shell volume; dispersions are mass-weighted
+    about the mean radial/tangential motion in each shell.
+    """
+    if n_bins < 1:
+        raise ValueError("need at least one bin")
+    c = center if center is not None else system.center_of_mass()
+    dx = system.pos - c
+    r = np.linalg.norm(dx, axis=1)
+    r = np.maximum(r, 1e-12)
+
+    lo = r_min if r_min is not None else float(np.percentile(r, 1.0))
+    hi = r_max if r_max is not None else float(r.max()) * 1.0001
+    lo = max(lo, 1e-9)
+    if log_bins:
+        edges = np.geomspace(lo, hi, n_bins + 1)
+    else:
+        edges = np.linspace(lo, hi, n_bins + 1)
+
+    # radial and tangential velocity components about the COM velocity
+    v = system.vel - system.center_of_mass_velocity()
+    r_hat = dx / r[:, None]
+    v_rad = np.einsum("ij,ij->i", v, r_hat)
+    v_tan_vec = v - v_rad[:, None] * r_hat
+    v_tan2 = np.einsum("ij,ij->i", v_tan_vec, v_tan_vec)
+
+    which = np.digitize(r, edges) - 1
+    count = np.zeros(n_bins, dtype=np.int64)
+    density = np.zeros(n_bins)
+    sig_r = np.zeros(n_bins)
+    sig_t = np.zeros(n_bins)
+    for b in range(n_bins):
+        members = which == b
+        count[b] = int(members.sum())
+        vol = 4.0 / 3.0 * np.pi * (edges[b + 1] ** 3 - edges[b] ** 3)
+        density[b] = system.mass[members].sum() / vol
+        if count[b] > 1:
+            w = system.mass[members]
+            w = w / w.sum()
+            mu_r = float(w @ v_rad[members])
+            sig_r[b] = float(np.sqrt(w @ (v_rad[members] - mu_r) ** 2))
+            sig_t[b] = float(np.sqrt(w @ v_tan2[members]))
+    return RadialProfile(
+        r_inner=edges[:-1],
+        r_outer=edges[1:],
+        count=count,
+        density=density,
+        sigma_radial=sig_r,
+        sigma_tangential=sig_t,
+    )
+
+
+def velocity_dispersion(system: ParticleSystem) -> float:
+    """Global 1-D mass-weighted velocity dispersion."""
+    v = system.vel - system.center_of_mass_velocity()
+    w = system.mass / system.total_mass
+    return float(np.sqrt(np.sum(w * np.einsum("ij,ij->i", v, v)) / 3.0))

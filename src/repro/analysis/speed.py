@@ -1,0 +1,45 @@
+"""Run-level speed metrics in the paper's conventions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import FLOPS_PER_INTERACTION
+from ..core.individual import StepStatistics
+
+
+@dataclass
+class RunSpeed:
+    """Speed accounting for one integration run."""
+
+    particle_steps: int
+    interactions: int
+    wall_seconds: float
+
+    @property
+    def particle_steps_per_second(self) -> float:
+        return self.particle_steps / self.wall_seconds
+
+    @property
+    def flops(self) -> float:
+        """Total flops at the 57-op convention."""
+        return self.interactions * FLOPS_PER_INTERACTION
+
+    @property
+    def sustained_flops(self) -> float:
+        return self.flops / self.wall_seconds
+
+    @property
+    def sustained_gflops(self) -> float:
+        return self.sustained_flops / 1.0e9
+
+
+def run_speed(stats: StepStatistics, wall_seconds: float) -> RunSpeed:
+    """Wrap integrator statistics into the paper's speed metrics."""
+    if wall_seconds <= 0:
+        raise ValueError("wall time must be positive")
+    return RunSpeed(
+        particle_steps=stats.particle_steps,
+        interactions=stats.interactions,
+        wall_seconds=wall_seconds,
+    )

@@ -1,0 +1,61 @@
+"""Timestep-distribution statistics.
+
+The paper's core argument for individual timesteps (and against shared
+ones) is the width of the timestep distribution: "the ratio between the
+smallest timestep and (harmonic) mean timestep is larger than 100 for
+both test calculations" (section 5).  :func:`timestep_census` measures
+exactly that ratio, plus the per-level histogram that drives the
+performance model's block statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.particles import ParticleSystem
+
+
+@dataclass
+class TimestepCensus:
+    """Distribution summary of the current per-particle timesteps."""
+
+    levels: np.ndarray
+    counts: np.ndarray
+    dt_min: float
+    dt_max: float
+    harmonic_mean_dt: float
+
+    @property
+    def shared_step_penalty(self) -> float:
+        """How many times more particle-steps a shared-timestep code
+        would need: harmonic-mean dt over minimum dt (the paper's
+        ">= 100" factor for the section-5 applications)."""
+        return self.harmonic_mean_dt / self.dt_min
+
+    @property
+    def mean_level(self) -> float:
+        return float(np.sum(self.levels * self.counts) / np.sum(self.counts))
+
+    @property
+    def level_sd(self) -> float:
+        mu = self.mean_level
+        var = np.sum(self.counts * (self.levels - mu) ** 2) / np.sum(self.counts)
+        return float(np.sqrt(var))
+
+
+def timestep_census(system: ParticleSystem) -> TimestepCensus:
+    """Histogram the power-of-two timestep levels of a live system."""
+    dt = system.dt
+    if np.any(dt <= 0):
+        raise ValueError("system has unset timesteps; integrate first")
+    levels = np.rint(-np.log2(dt)).astype(np.int64)
+    uniq, counts = np.unique(levels, return_counts=True)
+    return TimestepCensus(
+        levels=uniq,
+        counts=counts,
+        dt_min=float(dt.min()),
+        dt_max=float(dt.max()),
+        harmonic_mean_dt=float(1.0 / np.mean(1.0 / dt)),
+    )

@@ -1,0 +1,92 @@
+"""Physical and accounting constants used throughout the reproduction.
+
+The paper works in dimensionless N-body ("Heggie") units, so the only
+physically meaningful constant is the gravitational constant ``G = 1``.
+The remaining constants encode the *accounting conventions* of the paper:
+how many floating-point operations one pairwise interaction is counted
+as, and the hardware parameters of the GRAPE-6 machine (section 2).
+"""
+
+from __future__ import annotations
+
+#: Gravitational constant in N-body (Heggie) units.
+G_NBODY: float = 1.0
+
+#: Floating-point operations counted per pairwise force evaluation
+#: (acceleration only).  The paper follows Warren et al. (SC'97) and
+#: recent Gordon Bell entries in assigning 38 operations to the pairwise
+#: gravitational force.
+FLOPS_PER_FORCE: int = 38
+
+#: Additional operations for the first time derivative of the force
+#: (the "jerk"), needed by the Hermite scheme.  Paper, section 4:
+#: "The calculation of the time derivative requires additional 19
+#: operations, resulting in 57 operations per pairwise interaction."
+FLOPS_PER_JERK: int = 19
+
+#: Total operations counted per pairwise interaction in the Hermite
+#: scheme; this is the factor 57 in the paper's speed definition
+#: S = 57 * N * n_steps (eq. 9).
+FLOPS_PER_INTERACTION: int = FLOPS_PER_FORCE + FLOPS_PER_JERK
+
+# ---------------------------------------------------------------------------
+# GRAPE-6 machine parameters (paper, sections 1-2).
+# ---------------------------------------------------------------------------
+
+#: Clock frequency of the GRAPE-6 processor chip [Hz] (section 2.1).
+GRAPE6_CLOCK_HZ: float = 90.0e6
+
+#: Number of force-calculation pipelines integrated on one chip.
+GRAPE6_PIPELINES_PER_CHIP: int = 6
+
+#: Virtual multiple pipeline factor: each physical pipeline serves 8
+#: virtual pipelines, so one chip accumulates forces on 48 i-particles
+#: concurrently while sustaining 6 interactions per clock (section 3.4).
+GRAPE6_VMP_WAYS: int = 8
+
+#: i-particles processed in parallel by one chip (6 pipelines x 8-way VMP).
+GRAPE6_IPARTICLES_PER_CHIP: int = GRAPE6_PIPELINES_PER_CHIP * GRAPE6_VMP_WAYS
+
+#: Processor chips on one processor module (section 2, fig. 5).
+GRAPE6_CHIPS_PER_MODULE: int = 4
+
+#: Processor modules on one processor board (section 2, fig. 4).
+GRAPE6_MODULES_PER_BOARD: int = 8
+
+#: Chips per processor board (32).
+GRAPE6_CHIPS_PER_BOARD: int = GRAPE6_CHIPS_PER_MODULE * GRAPE6_MODULES_PER_BOARD
+
+#: Processor boards attached to one host computer (fig. 2).
+GRAPE6_BOARDS_PER_HOST: int = 4
+
+#: Host computers per cluster (fig. 2).
+GRAPE6_HOSTS_PER_CLUSTER: int = 4
+
+#: Clusters in the complete system (fig. 1).
+GRAPE6_CLUSTERS: int = 4
+
+#: Boards per cluster (16, arranged as a 4x4 grid; board ij computes
+#: forces on particles of host i from particles of host j).
+GRAPE6_BOARDS_PER_CLUSTER: int = GRAPE6_BOARDS_PER_HOST * GRAPE6_HOSTS_PER_CLUSTER
+
+#: Total number of pipeline chips in the full machine (2048).
+GRAPE6_TOTAL_CHIPS: int = (
+    GRAPE6_CHIPS_PER_BOARD * GRAPE6_BOARDS_PER_CLUSTER * GRAPE6_CLUSTERS
+)
+
+#: Peak speed of a single chip [flop/s]: 57 flops x 6 pipelines x 90 MHz
+#: = 30.78 Gflops ("30.8 Gflops" in the paper).
+GRAPE6_CHIP_PEAK_FLOPS: float = (
+    FLOPS_PER_INTERACTION * GRAPE6_PIPELINES_PER_CHIP * GRAPE6_CLOCK_HZ
+)
+
+#: Theoretical peak of the full 2048-chip machine [flop/s]; the paper
+#: quotes 63.04 Tflops (abstract says 63.4 due to a typo; section 1 and
+#: the summary use 63.04/63).
+GRAPE6_SYSTEM_PEAK_FLOPS: float = GRAPE6_CHIP_PEAK_FLOPS * GRAPE6_TOTAL_CHIPS
+
+#: j-particle memory capacity per chip (particles).  The production
+#: chips carry 16 Mbit SSRAM-era DRAM per chip; the companion hardware
+#: paper quotes up to 16384 j-particles per chip for the standard
+#: memory option.
+GRAPE6_JMEM_PER_CHIP: int = 16384

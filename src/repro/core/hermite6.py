@@ -1,0 +1,157 @@
+"""Sixth-order Hermite integrator (Nitadori & Makino 2008).
+
+The paper's machine runs the classic 4th-order scheme; its successors
+(GRAPE-DR-generation codes) moved to 6th order, which squeezes more
+accuracy out of each (expensive) force evaluation — the natural
+"future work" of the paper's algorithmic stack, implemented here as a
+shared-timestep reference integrator.
+
+Scheme (one step of size h, P(EC) form):
+
+* predict x, v with the Taylor series through the crackle term (the
+  stored derivatives a, j, s and the reconstructed c);
+* evaluate acc, jerk **and snap** at the predicted state
+  (:func:`repro.forces.higher_order.acc_jerk_snap_all`);
+* correct with the two-point quintic Hermite interpolation::
+
+      v1 = v0 + h/2 (a0+a1) - h^2/10 (j1-j0) + h^3/120 (s0+s1)
+      x1 = x0 + h/2 (v0+v1) - h^2/10 (a1-a0) + h^3/120 (j0+j1)
+
+The energy error of a smooth problem scales as h^6 (vs h^4 for the
+4th-order scheme) — asserted by the convergence tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..forces.higher_order import acc_jerk_snap_all
+from .particles import ParticleSystem
+from .timestep import DEFAULT_ETA
+
+
+@dataclass
+class Hermite6Stats:
+    steps: int = 0
+    particle_steps: int = 0
+    interactions: int = 0
+
+
+class Hermite6Integrator:
+    """Shared adaptive-timestep 6th-order Hermite integrator.
+
+    Parameters
+    ----------
+    system:
+        Particle state, integrated in place (its ``snap`` array holds
+        the true evaluated snap here, not a corrector reconstruction).
+    eps2:
+        Softening squared.
+    eta:
+        Accuracy parameter of the (generalised) Aarseth criterion.
+    dt_max:
+        Step cap.
+    fixed_dt:
+        Use a constant step instead of the adaptive criterion
+        (convergence studies).
+    """
+
+    def __init__(
+        self,
+        system: ParticleSystem,
+        eps2: float,
+        eta: float = DEFAULT_ETA,
+        dt_max: float = 0.125,
+        fixed_dt: float | None = None,
+    ) -> None:
+        if fixed_dt is not None and fixed_dt <= 0:
+            raise ValueError("fixed_dt must be positive")
+        self.system = system
+        self.eps2 = float(eps2)
+        self.eta = float(eta)
+        self.dt_max = float(dt_max)
+        self.fixed_dt = fixed_dt
+        self.t = 0.0
+        self.stats = Hermite6Stats()
+
+        res = acc_jerk_snap_all(system.pos, system.vel, system.mass, self.eps2)
+        system.acc[...] = res.acc
+        system.jerk[...] = res.jerk
+        system.snap[...] = res.snap
+        system.pot[...] = res.pot
+        self.stats.interactions += res.interactions
+        # crackle estimate starts at zero; refined after the first step
+        self._crackle = np.zeros_like(system.pos)
+
+    def _choose_dt(self) -> float:
+        if self.fixed_dt is not None:
+            return self.fixed_dt
+        s = self.system
+        a = np.linalg.norm(s.acc, axis=1)
+        j = np.linalg.norm(s.jerk, axis=1)
+        sn = np.linalg.norm(s.snap, axis=1)
+        cr = np.linalg.norm(self._crackle, axis=1)
+        tiny = np.finfo(float).tiny
+        # generalised criterion: dt = eta^(1/?) ... use the A1/A2 form
+        dt = np.sqrt(self.eta * (a * sn + j * j + tiny) / (j * cr + sn * sn + tiny))
+        return float(min(self.dt_max, dt.min()))
+
+    def step(self) -> float:
+        s = self.system
+        h = self._choose_dt()
+
+        # predict through the stored derivatives + crackle estimate
+        h1, h2, h3, h4, h5 = h, h**2 / 2, h**3 / 6, h**4 / 24, h**5 / 120
+        xp = s.pos + h1 * s.vel + h2 * s.acc + h3 * s.jerk + h4 * s.snap + h5 * self._crackle
+        vp = s.vel + h1 * s.acc + h2 * s.jerk + h3 * s.snap + h4 * self._crackle
+
+        res = acc_jerk_snap_all(xp, vp, s.mass, self.eps2)
+        a0, j0, s0 = s.acc, s.jerk, s.snap
+        a1, j1, s1 = res.acc, res.jerk, res.snap
+
+        v_new = (
+            s.vel
+            + (h / 2.0) * (a0 + a1)
+            - (h * h / 10.0) * (j1 - j0)
+            + (h**3 / 120.0) * (s0 + s1)
+        )
+        x_new = (
+            s.pos
+            + (h / 2.0) * (s.vel + v_new)
+            - (h * h / 10.0) * (a1 - a0)
+            + (h**3 / 120.0) * (j0 + j1)
+        )
+
+        # crackle for the next step's criterion/prediction: finite
+        # difference of the snap over the step
+        self._crackle = (s1 - s0) / h
+
+        s.pos[...] = x_new
+        s.vel[...] = v_new
+        s.acc[...] = a1
+        s.jerk[...] = j1
+        s.snap[...] = s1
+        s.pot[...] = res.pot
+        self.t += h
+        s.t[...] = self.t
+        s.dt[...] = h
+        self.stats.steps += 1
+        self.stats.particle_steps += s.n
+        self.stats.interactions += res.interactions
+        return self.t
+
+    def run(self, t_end: float) -> Hermite6Stats:
+        guard = 0
+        while self.t < t_end - 1e-14:
+            if self.fixed_dt is not None:
+                # land exactly on t_end with fixed steps
+                remaining = t_end - self.t
+                if remaining < self.fixed_dt * 0.5:
+                    break
+            self.step()
+            guard += 1
+            if guard > 10_000_000:  # pragma: no cover
+                raise RuntimeError("step-count guard tripped")
+        return self.stats

@@ -1,0 +1,131 @@
+"""Structure-of-arrays particle state for Hermite integration.
+
+The arrays mirror what an Aarseth/Hermite code keeps per particle: mass,
+position, velocity, acceleration and jerk at the particle's own time
+``t``, its current timestep ``dt``, plus the higher derivatives (snap,
+crackle) reconstructed by the corrector, which the predictor of the next
+step can optionally use.
+
+All state is float64 numpy, contiguous, one array per quantity (SoA),
+so that the predictor and the force kernels vectorise (see the
+optimisation guide: vectorise, avoid copies, watch strides).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ParticleSystem:
+    """State of an N-body system under individual-timestep Hermite
+    integration.
+
+    Parameters
+    ----------
+    mass, pos, vel:
+        Initial (N,), (N, 3), (N, 3) arrays.  Copied to float64.
+
+    Attributes
+    ----------
+    t:
+        (N,) per-particle current times (all particles share the system
+        time only under shared-timestep integration).
+    dt:
+        (N,) per-particle timesteps (powers of two under block steps).
+    acc, jerk:
+        Force derivatives at each particle's own time.
+    snap, crackle:
+        2nd and 3rd force derivatives reconstructed by the corrector;
+        zero until the first correction.  Used by the timestep criterion
+        and, on GRAPE-6, by the hardware predictor (eq. 6 keeps the
+        ``a^(2)`` term).
+    pot:
+        Potential at the particle's own time (for diagnostics).
+    """
+
+    __slots__ = (
+        "n",
+        "mass",
+        "pos",
+        "vel",
+        "acc",
+        "jerk",
+        "snap",
+        "crackle",
+        "pot",
+        "t",
+        "dt",
+    )
+
+    def __init__(self, mass: np.ndarray, pos: np.ndarray, vel: np.ndarray) -> None:
+        mass = np.ascontiguousarray(mass, dtype=np.float64)
+        pos = np.ascontiguousarray(pos, dtype=np.float64)
+        vel = np.ascontiguousarray(vel, dtype=np.float64)
+        if mass.ndim != 1:
+            raise ValueError("mass must be 1-D")
+        n = mass.shape[0]
+        if pos.shape != (n, 3) or vel.shape != (n, 3):
+            raise ValueError(f"pos/vel must have shape ({n}, 3)")
+        if n == 0:
+            raise ValueError("empty particle system")
+        if np.any(mass < 0.0):
+            raise ValueError("negative mass")
+
+        self.n = n
+        self.mass = mass
+        self.pos = pos.copy()
+        self.vel = vel.copy()
+        self.acc = np.zeros((n, 3))
+        self.jerk = np.zeros((n, 3))
+        self.snap = np.zeros((n, 3))
+        self.crackle = np.zeros((n, 3))
+        self.pot = np.zeros(n)
+        self.t = np.zeros(n)
+        self.dt = np.zeros(n)
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def from_arrays(
+        cls, mass: np.ndarray, pos: np.ndarray, vel: np.ndarray
+    ) -> "ParticleSystem":
+        return cls(mass, pos, vel)
+
+    def copy(self) -> "ParticleSystem":
+        """Deep copy of the full dynamical state."""
+        out = ParticleSystem(self.mass, self.pos, self.vel)
+        for name in ("acc", "jerk", "snap", "crackle", "pot", "t", "dt"):
+            getattr(out, name)[...] = getattr(self, name)
+        return out
+
+    # -- global properties ---------------------------------------------------
+
+    @property
+    def total_mass(self) -> float:
+        return float(np.sum(self.mass))
+
+    def center_of_mass(self) -> np.ndarray:
+        return np.asarray(self.mass @ self.pos / self.total_mass)
+
+    def center_of_mass_velocity(self) -> np.ndarray:
+        return np.asarray(self.mass @ self.vel / self.total_mass)
+
+    def momentum(self) -> np.ndarray:
+        return np.asarray(self.mass @ self.vel)
+
+    def angular_momentum(self) -> np.ndarray:
+        return np.asarray(np.sum(self.mass[:, None] * np.cross(self.pos, self.vel), axis=0))
+
+    def to_center_of_mass_frame(self) -> None:
+        """Shift to the barycentric frame in place."""
+        self.pos -= self.center_of_mass()
+        self.vel -= self.center_of_mass_velocity()
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ParticleSystem(n={self.n}, M={self.total_mass:.6g}, "
+            f"t=[{self.t.min():.6g}, {self.t.max():.6g}])"
+        )

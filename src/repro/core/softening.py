@@ -1,0 +1,57 @@
+"""The paper's softening-length choices (section 4).
+
+"For the softening parameter, we tried three different choices.  The
+first one is a constant softening, eps = 1/64.  We also tried
+eps = 1/[8 (2N)^{1/3}] and eps = 4/N, to investigate the effect of the
+softening size.  Note that for N = 256, all three choices of the
+softening give the same value."
+
+Smaller softening at larger N means harder close encounters, hence a
+wider timestep distribution and smaller average block sizes; this is
+why the parallel crossover point in fig. 15 moves from N ~ 3000
+(constant softening) to N ~ 3e4 (eps = 4/N).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+SofteningLaw = Callable[[int], float]
+
+
+def constant_softening(n: int) -> float:
+    """eps = 1/64, independent of N (the paper's first choice)."""
+    del n
+    return 1.0 / 64.0
+
+
+def n_dependent_softening(n: int) -> float:
+    """eps = 1 / [8 (2N)^{1/3}] — shrinks like the interparticle distance."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return 1.0 / (8.0 * (2.0 * n) ** (1.0 / 3.0))
+
+
+def strong_softening(n: int) -> float:
+    """eps = 4/N — the most aggressive shrinkage the paper tests."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return 4.0 / n
+
+
+#: Registry keyed by the names used in benchmark parameterisations.
+SOFTENING_LAWS: dict[str, SofteningLaw] = {
+    "constant": constant_softening,
+    "n13": n_dependent_softening,
+    "4overN": strong_softening,
+}
+
+
+def softening_by_name(name: str) -> SofteningLaw:
+    """Look up one of the paper's softening laws by its registry name."""
+    try:
+        return SOFTENING_LAWS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown softening law {name!r}; choose from {sorted(SOFTENING_LAWS)}"
+        ) from None

@@ -1,0 +1,183 @@
+"""Figure-data export: regenerate every evaluation figure as CSV.
+
+``python -m repro.figures [output_dir]`` writes one CSV per figure of
+the paper's evaluation section (figs. 13-19) plus the section-5
+application table, in the exact series the paper plots.  The benchmark
+suite asserts the qualitative content; these files are for anyone who
+wants to overlay the reproduction on the original figures.
+"""
+
+from __future__ import annotations
+
+import csv
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .config import (
+    HOST_P4,
+    NIC_INTEL82540EM,
+    cluster_machine,
+    full_machine,
+    single_node_machine,
+)
+from .perfmodel import BINARY_BH_RUN, KUIPER_BELT_RUN, MachineModel
+from .perfmodel.applications import predict_sustained_tflops, treecode_comparison
+
+
+def _grid(lo: float, hi: float, points: int = 25) -> list[int]:
+    return [int(n) for n in np.logspace(np.log10(lo), np.log10(hi), points)]
+
+
+def _write(path: Path, header: list[str], rows: list[list]) -> None:
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def export_fig13(outdir: Path) -> Path:
+    models = {
+        s: MachineModel(single_node_machine(), softening=s)
+        for s in ("constant", "n13", "4overN")
+    }
+    rows = [
+        [n] + [models[s].speed_gflops(n) for s in ("constant", "n13", "4overN")]
+        for n in _grid(256, 2.0e6)
+    ]
+    path = outdir / "fig13_single_node_speed.csv"
+    _write(path, ["N", "gflops_eps_const", "gflops_eps_n13", "gflops_eps_4overN"], rows)
+    return path
+
+
+def export_fig14(outdir: Path) -> Path:
+    model = MachineModel(single_node_machine())
+    rows = []
+    for n in _grid(256, 2.0e6):
+        b = model.step_time_breakdown(n)
+        rows.append(
+            [n, b.total_us, model.time_per_step_constant_host_us(n),
+             b.host_us, b.hif_us, b.grape_us]
+        )
+    path = outdir / "fig14_time_per_step.csv"
+    _write(
+        path,
+        ["N", "us_cache_model", "us_const_host_fit", "us_host", "us_comm", "us_grape"],
+        rows,
+    )
+    return path
+
+
+def export_fig15(outdir: Path) -> list[Path]:
+    paths = []
+    for soft, tag in (("constant", "const"), ("4overN", "4overN")):
+        models = [
+            MachineModel(single_node_machine(), softening=soft),
+            MachineModel(cluster_machine(2), softening=soft),
+            MachineModel(cluster_machine(4), softening=soft),
+        ]
+        rows = [
+            [n] + [m.speed_gflops(n) for m in models] for n in _grid(1000, 1.0e6)
+        ]
+        path = outdir / f"fig15_multi_node_speed_{tag}.csv"
+        _write(path, ["N", "gflops_1node", "gflops_2node", "gflops_4node"], rows)
+        paths.append(path)
+    return paths
+
+
+def export_fig16(outdir: Path) -> Path:
+    model = MachineModel(cluster_machine(4))
+    rows = []
+    for n in _grid(1000, 1.0e6):
+        b = model.step_time_breakdown(n)
+        rows.append([n, b.total_us, b.sync_us])
+    path = outdir / "fig16_four_node_time_per_step.csv"
+    _write(path, ["N", "us_total", "us_sync"], rows)
+    return path
+
+
+def export_fig17(outdir: Path) -> Path:
+    models = {c: MachineModel(full_machine(c)) for c in (1, 2, 4)}
+    rows = [
+        [n] + [models[c].speed_gflops(n) / 1e3 for c in (1, 2, 4)]
+        for n in _grid(3000, 2.0e6)
+    ]
+    path = outdir / "fig17_multi_cluster_speed.csv"
+    _write(path, ["N", "tflops_4node", "tflops_8node", "tflops_16node"], rows)
+    return path
+
+
+def export_fig18(outdir: Path) -> Path:
+    model = MachineModel(full_machine(4))
+    rows = []
+    for n in _grid(3000, 2.0e6):
+        b = model.step_time_breakdown(n)
+        rows.append([n, b.total_us, b.sync_us + b.exchange_us])
+    path = outdir / "fig18_full_machine_time_per_step.csv"
+    _write(path, ["N", "us_total", "us_sync_plus_exchange"], rows)
+    return path
+
+
+def export_fig19(outdir: Path) -> Path:
+    base = MachineModel(full_machine(4))
+    tuned = MachineModel(full_machine(4).with_nic(NIC_INTEL82540EM).with_host(HOST_P4))
+    rows = []
+    for n in _grid(10_000, 1.8e6):
+        rows.append([n, base.speed_gflops(n) / 1e3, tuned.speed_gflops(n) / 1e3])
+    path = outdir / "fig19_nic_tuning.csv"
+    _write(path, ["N", "tflops_ns83820_athlon", "tflops_intel82540em_p4"], rows)
+    return path
+
+
+def export_applications(outdir: Path) -> Path:
+    tuned = MachineModel(full_machine(4).with_nic(NIC_INTEL82540EM).with_host(HOST_P4))
+    rows = []
+    for run, paper in ((KUIPER_BELT_RUN, 33.4), (BINARY_BH_RUN, 35.3)):
+        rows.append(
+            [run.name, run.n, run.individual_steps, run.wall_hours,
+             run.sustained_tflops, predict_sustained_tflops(run, tuned), paper]
+        )
+    path = outdir / "section5_applications.csv"
+    _write(
+        path,
+        ["run", "N", "steps", "wall_hours", "tflops_accounting",
+         "tflops_model", "tflops_paper"],
+        rows,
+    )
+    comp = outdir / "section5_treecode_comparison.csv"
+    _write(
+        comp,
+        ["system", "effective_steps_per_sec", "fraction_of_grape6"],
+        [list(row) for row in treecode_comparison()],
+    )
+    return path
+
+
+def export_all(outdir: str | Path) -> list[Path]:
+    """Write every figure CSV; returns the paths written."""
+    out = Path(outdir)
+    out.mkdir(parents=True, exist_ok=True)
+    paths: list[Path] = []
+    paths.append(export_fig13(out))
+    paths.append(export_fig14(out))
+    paths.extend(export_fig15(out))
+    paths.append(export_fig16(out))
+    paths.append(export_fig17(out))
+    paths.append(export_fig18(out))
+    paths.append(export_fig19(out))
+    paths.append(export_applications(out))
+    return paths
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    outdir = args[0] if args else "figures_out"
+    paths = export_all(outdir)
+    for p in paths:
+        print(p)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

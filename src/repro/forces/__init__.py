@@ -1,0 +1,33 @@
+"""Gravitational force evaluation backends.
+
+This package implements equations (1)-(3) of the paper: the softened
+gravitational acceleration, its first time derivative (the "jerk"), and
+the potential, as evaluated by the GRAPE-6 force pipeline.
+
+Backends
+--------
+:class:`DirectSummation`
+    Vectorised O(N^2) float64 evaluation on the host (numpy); the
+    reference implementation.
+:class:`repro.forces.grape_api.Grape6Library`
+    A facade mirroring the real GRAPE-6 host library (``g6_open``-style
+    calls), which can be backed either by :class:`DirectSummation` or by
+    the bit-level hardware emulator in :mod:`repro.hardware`.
+"""
+
+from .kernels import (
+    ForceJerkResult,
+    acc_jerk_pot_on_targets,
+    pairwise_acc_jerk_pot,
+    potential_energy,
+)
+from .direct import DirectSummation, ForceBackend
+
+__all__ = [
+    "ForceJerkResult",
+    "ForceBackend",
+    "DirectSummation",
+    "acc_jerk_pot_on_targets",
+    "pairwise_acc_jerk_pot",
+    "potential_energy",
+]

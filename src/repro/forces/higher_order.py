@@ -1,0 +1,99 @@
+"""Pairwise force kernels with second derivatives (snap) — the
+6th-order Hermite substrate.
+
+The GRAPE lineage's next step after the paper (GRAPE-DR-era codes,
+Nitadori & Makino 2008) moved to 6th-order Hermite integration, which
+needs the *second* time derivative of the pairwise acceleration::
+
+    a_ij    = m r / R^3
+    adot_ij = m [ v/R^3 ]           - 3 alpha a_ij
+    a2_ij   = m [ (a_j - a_i)/R^3 ] - 6 alpha adot_ij - 3 beta a_ij
+
+with R^2 = r^2 + eps^2, alpha = (r.v)/R^2 and
+beta = (v^2 + r.(a_j - a_i))/R^2 + alpha^2 (r, v the relative position
+and velocity).  The snap term needs the Newtonian accelerations of both
+partners, so the evaluation is two-pass: accelerations first, then the
+snap sweep using them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import G_NBODY
+from .kernels import acc_jerk_pot_on_targets
+
+
+@dataclass
+class SnapResult:
+    """Acc, jerk, snap and potential on a set of particles."""
+
+    acc: np.ndarray
+    jerk: np.ndarray
+    snap: np.ndarray
+    pot: np.ndarray
+    interactions: int
+
+
+def acc_jerk_snap_all(
+    x: np.ndarray,
+    v: np.ndarray,
+    m: np.ndarray,
+    eps2: float,
+    chunk: int = 256,
+) -> SnapResult:
+    """Two-pass all-pairs evaluation of acc, jerk, snap and potential.
+
+    Pass 1 computes Newtonian accelerations (float64 direct sum); pass 2
+    uses them for the relative-acceleration term of the snap.
+    """
+    x = np.ascontiguousarray(x, dtype=np.float64)
+    v = np.ascontiguousarray(v, dtype=np.float64)
+    m = np.ascontiguousarray(m, dtype=np.float64)
+    n = x.shape[0]
+
+    first = acc_jerk_pot_on_targets(x, v, x, v, m, eps2, exclude_self=True)
+    a_all = first.acc
+
+    snap = np.empty((n, 3))
+    for lo in range(0, n, chunk):
+        hi = min(lo + chunk, n)
+        dx = x[None, :, :] - x[lo:hi, None, :]
+        dv = v[None, :, :] - v[lo:hi, None, :]
+        da = a_all[None, :, :] - a_all[lo:hi, None, :]
+        r2 = np.einsum("ijk,ijk->ij", dx, dx) + eps2
+        self_mask = r2 <= eps2
+
+        with np.errstate(divide="ignore", invalid="ignore"):
+            rinv2 = 1.0 / r2
+            rinv = np.sqrt(rinv2)
+        mrinv3 = G_NBODY * m[None, :] * rinv * rinv2
+        mrinv3 = np.where(self_mask, 0.0, mrinv3)
+
+        rv = np.einsum("ijk,ijk->ij", dx, dv)
+        v2 = np.einsum("ijk,ijk->ij", dv, dv)
+        ra = np.einsum("ijk,ijk->ij", dx, da)
+        with np.errstate(invalid="ignore"):
+            alpha = rv * rinv2
+            beta = (v2 + ra) * rinv2 + alpha * alpha
+        alpha = np.where(self_mask, 0.0, alpha)
+        beta = np.where(self_mask, 0.0, beta)
+
+        a_pair = mrinv3[:, :, None] * dx
+        j_pair = mrinv3[:, :, None] * dv - 3.0 * alpha[:, :, None] * a_pair
+        s_pair = (
+            mrinv3[:, :, None] * da
+            - 6.0 * alpha[:, :, None] * j_pair
+            - 3.0 * beta[:, :, None] * a_pair
+        )
+        snap[lo:hi] = s_pair.sum(axis=1)
+
+    return SnapResult(
+        acc=first.acc,
+        jerk=first.jerk,
+        snap=snap,
+        pot=first.pot,
+        interactions=first.interactions * 2,
+    )

@@ -1,0 +1,142 @@
+"""Block-floating-point force accumulation (paper, section 3.4).
+
+"In order to simplify the design [of the FPGA summation hardware], we
+chose to use a block floating point format for the force and other
+calculated result.  In this format, we specify the exponent of the
+result before we start calculation. ... Since the actual summations,
+both within the chip and outside the chip, are done in fixed-point
+format, no round-off error is generated during summation."
+
+Model
+-----
+For each accumulated quantity the host declares a block exponent
+``e``.  Every pairwise contribution ``c`` is converted to the integer
+``round(c / q)`` with quantum ``q = 2^(e - FRAC_BITS)``; the 64-bit
+accumulator therefore covers ``[-2^63 q, 2^63 q)``, i.e. values up to
+``2^(HEADROOM_BITS) * 2^e`` with ``HEADROOM_BITS = 63 - FRAC_BITS``
+bits of headroom above the declared magnitude.  All additions are
+exact integers; a value (or the total) outside the accumulator range
+raises :class:`BlockFloatOverflow`, and the host retries with a larger
+exponent — "for the initial calculation, we sometimes need to repeat
+the force calculation a few times until we have a good guess for the
+exponent" — see :meth:`repro.hardware.system.Grape6Emulator`.
+
+Because the integer sums are exact and quantisation happens per
+contribution, the final value depends only on the multiset of
+contributions and the exponent — **not** on how contributions are
+split across pipelines, chips, modules or boards.  This is the
+machine-size independence the paper highlights, and the central
+property-based test of the emulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .fixedpoint import exact_int_sum
+
+#: Fractional bits of the accumulator below the declared exponent.
+FRAC_BITS: int = 55
+
+#: Headroom above 2^e before the 64-bit register overflows.
+HEADROOM_BITS: int = 63 - FRAC_BITS
+
+
+class BlockFloatOverflow(ArithmeticError):
+    """A contribution or total exceeded the declared block exponent's
+    range; the host must retry with a larger exponent."""
+
+
+def suggest_exponent(estimate: np.ndarray) -> np.ndarray:
+    """Initial block-exponent guess from a magnitude estimate.
+
+    Returns ``e`` such that ``2^e > |estimate|`` (elementwise).  In
+    production GRAPE codes the estimate is the previous step's force,
+    "almost always okay"; on the first step the host uses any cheap
+    approximation and relies on the retry loop.
+    """
+    est = np.abs(np.asarray(estimate, dtype=np.float64))
+    est = np.maximum(est, np.finfo(np.float64).tiny)
+    _, e = np.frexp(est)  # est = m * 2^e, 0.5 <= m < 1  =>  2^e > est
+    return e.astype(np.int64)
+
+
+@dataclass
+class BlockFloatAccumulator:
+    """Exact fixed-point accumulator under a per-column block exponent.
+
+    Parameters
+    ----------
+    exponents:
+        int array, one declared exponent per accumulated output
+        (broadcastable against the non-summed shape of the
+        contributions).
+    """
+
+    exponents: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.exponents = np.asarray(self.exponents, dtype=np.int64)
+
+    def quantize(self, contributions: np.ndarray) -> np.ndarray:
+        """Convert float contributions to accumulator integers (int64).
+
+        Raises :class:`BlockFloatOverflow` if any single contribution
+        does not fit the register (the hardware's saturation flag).
+        """
+        c = np.asarray(contributions, dtype=np.float64)
+        q = np.ldexp(1.0, (self.exponents - FRAC_BITS).astype(np.int64))
+        scaled = c / q
+        if np.any(np.abs(scaled) >= 2.0**62):
+            raise BlockFloatOverflow("pairwise contribution saturates the accumulator")
+        return np.rint(scaled).astype(np.int64)
+
+    def reduce(self, quantized: np.ndarray, axis: int = 0) -> np.ndarray:
+        """Exact integer reduction along an axis; object-dtype ints."""
+        return np.asarray(exact_int_sum(quantized, axis=axis))
+
+    def combine(self, partials: list) -> np.ndarray:
+        """Exact combination of partial integer sums (the FPGA adder
+        tree between chips/modules/boards)."""
+        total = partials[0]
+        for p in partials[1:]:
+            total = np.add(np.asarray(total, dtype=object), np.asarray(p, dtype=object))
+        return np.asarray(total)
+
+    def to_float(self, total) -> np.ndarray:
+        """Check range and convert the exact integer total to float64.
+
+        Raises :class:`BlockFloatOverflow` if the total exceeds the
+        64-bit register (this is where the retry loop triggers).
+        """
+        total_obj = np.asarray(total, dtype=object)
+        limit = 2**63
+        flat = np.abs(total_obj.reshape(-1))
+        if any(int(v) >= limit for v in flat):
+            raise BlockFloatOverflow("accumulated total overflows the declared exponent")
+        as_float = total_obj.astype(np.float64)
+        q = np.ldexp(1.0, (self.exponents - FRAC_BITS).astype(np.int64))
+        return np.asarray(as_float * q)
+
+
+def block_float_sum(
+    contributions: np.ndarray, exponents: np.ndarray, axis: int = 0
+) -> np.ndarray:
+    """One-shot helper: quantise, exactly reduce, and convert back.
+
+    ``exponents`` must broadcast against the output shape (the input
+    shape with ``axis`` removed).
+    """
+    acc = BlockFloatAccumulator(exponents)
+    c = np.asarray(contributions, dtype=np.float64)
+    # broadcast exponents up to the contribution shape for quantisation
+    exp_full = np.broadcast_to(
+        np.expand_dims(acc.exponents, axis) if acc.exponents.ndim == c.ndim - 1 else acc.exponents,
+        c.shape,
+    )
+    per_pair = BlockFloatAccumulator(exp_full)
+    quantized = per_pair.quantize(c)
+    total = exact_int_sum(quantized, axis=axis)
+    return acc.to_float(total)

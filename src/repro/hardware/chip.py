@@ -1,0 +1,175 @@
+"""The GRAPE-6 processor chip (paper, section 2.1 and fig. 7).
+
+One chip = six force pipelines (8-way VMP each, so 48 i-particles in
+flight), one predictor pipeline, and the private j-particle memory.
+The chip streams its memory past the pipelines at 6 interactions per
+clock and accumulates partial forces in on-chip fixed-point registers
+under the declared block exponents.
+
+The emulator processes an i-block in passes of ``iparallel`` (=48)
+particles, mirroring the hardware schedule, and reports the clock
+cycles the real chip would spend: ``ceil(n_i / 48) * 8 * n_j`` (each
+pass streams the whole memory once; the 8-way VMP means 8 clocks per
+j-particle per pass).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import ChipConfig
+from .blockfloat import BlockFloatAccumulator
+from .fixedpoint import exact_int_sum
+from .memory import JParticleMemory
+from .pipeline import PipelineFormats, pairwise_contributions
+from .predictor_unit import predict_memory
+
+
+@dataclass
+class PartialForce:
+    """Exact integer partial sums from one chip (or a combination of
+    chips) under shared block exponents.
+
+    ``acc`` / ``jerk`` are (n_i, 3) and ``pot`` (n_i,) object-dtype
+    arrays of exact Python integers in accumulator quanta.
+    """
+
+    acc: np.ndarray
+    jerk: np.ndarray
+    pot: np.ndarray
+
+    def combine(self, other: "PartialForce") -> "PartialForce":
+        """Exact integer addition (the FPGA adder tree)."""
+        return PartialForce(
+            acc=self.acc + other.acc,
+            jerk=self.jerk + other.jerk,
+            pot=self.pot + other.pot,
+        )
+
+
+@dataclass
+class BlockExponents:
+    """Declared per-i-particle block exponents for the three outputs."""
+
+    acc: np.ndarray
+    jerk: np.ndarray
+    pot: np.ndarray
+
+    def bump(self, amount: int = 4) -> "BlockExponents":
+        """Larger-exponent retry after an overflow."""
+        return BlockExponents(
+            acc=self.acc + amount, jerk=self.jerk + amount, pot=self.pot + amount
+        )
+
+
+class GrapeChip:
+    """Functional model of one pipeline chip.
+
+    Parameters
+    ----------
+    config:
+        Clock/pipeline-count parameters (for cycle accounting).
+    formats:
+        Arithmetic formats shared by all chips of a machine.
+    """
+
+    def __init__(
+        self, config: ChipConfig | None = None, formats: PipelineFormats | None = None
+    ) -> None:
+        self.config = config if config is not None else ChipConfig()
+        self.formats = formats if formats is not None else PipelineFormats.default()
+        self.memory = JParticleMemory(
+            capacity=self.config.jmem_capacity,
+            pos_format=self.formats.pos,
+            word_format=self.formats.word,
+        )
+        #: Cumulative emulated clock cycles spent streaming the memory.
+        self.cycles: int = 0
+
+    # -- memory side ---------------------------------------------------------
+
+    def load_j_particles(self, host_index, x, v, m, **derivs) -> None:
+        self.memory.load(host_index, x, v, m, **derivs)
+
+    def predicted_j(self, t: float | None) -> tuple[np.ndarray, np.ndarray]:
+        """j-side coordinates entering the pipelines: predicted by the
+        on-chip predictor when a time is given, raw memory otherwise."""
+        if t is None:
+            return self.memory.pos_q, self.memory.vel
+        return predict_memory(self.memory, t)
+
+    # -- force side ----------------------------------------------------------
+
+    def partial_forces(
+        self,
+        xi_q: np.ndarray,
+        vi: np.ndarray,
+        exponents: BlockExponents,
+        t: float | None = None,
+        i_index: np.ndarray | None = None,
+    ) -> PartialForce:
+        """Partial force sums on the i-block from this chip's memory.
+
+        Processes the block in hardware passes of ``iparallel``
+        particles and accumulates exactly in block floating point.
+        ``i_index`` carries the host indices of the i-particles for
+        self-interaction exclusion against the memory's stored indices.
+        Raises :class:`repro.hardware.blockfloat.BlockFloatOverflow`
+        if a contribution or total saturates (host retries).
+        """
+        n_i = xi_q.shape[0]
+        n_j = self.memory.n
+        if n_j == 0:
+            zero3 = np.zeros((n_i, 3), dtype=object)
+            return PartialForce(acc=zero3, jerk=zero3.copy(), pot=np.zeros(n_i, dtype=object))
+
+        xj_q, vj = self.predicted_j(t)
+        mj = self.memory.mass
+
+        acc_out = np.empty((n_i, 3), dtype=object)
+        jerk_out = np.empty((n_i, 3), dtype=object)
+        pot_out = np.empty(n_i, dtype=object)
+
+        stride = self.config.iparallel
+        for lo in range(0, n_i, stride):
+            hi = min(lo + stride, n_i)
+            self_mask = (
+                i_index[lo:hi, None] == self.memory.host_index[None, :]
+                if i_index is not None
+                else None
+            )
+            acc_c, jerk_c, pot_c = pairwise_contributions(
+                xi_q[lo:hi],
+                vi[lo:hi],
+                xj_q,
+                vj,
+                mj,
+                self._eps2,
+                self.formats,
+                self_mask=self_mask,
+            )
+            # quantise per pair under the (n_i,)-shaped exponents
+            e_a = exponents.acc[lo:hi, None, None]
+            e_j = exponents.jerk[lo:hi, None, None]
+            e_p = exponents.pot[lo:hi, None]
+            acc_q = BlockFloatAccumulator(np.broadcast_to(e_a, acc_c.shape)).quantize(acc_c)
+            jerk_q = BlockFloatAccumulator(np.broadcast_to(e_j, jerk_c.shape)).quantize(jerk_c)
+            pot_q = BlockFloatAccumulator(np.broadcast_to(e_p, pot_c.shape)).quantize(pot_c)
+
+            acc_out[lo:hi] = exact_int_sum(acc_q, axis=1)
+            jerk_out[lo:hi] = exact_int_sum(jerk_q, axis=1)
+            pot_out[lo:hi] = exact_int_sum(pot_q, axis=1)
+
+            # cycle accounting: one pass streams the whole memory; the
+            # 8-way VMP spends vmp_ways clocks per j-particle per pass
+            self.cycles += self.config.vmp_ways * n_j
+
+        return PartialForce(acc=acc_out, jerk=jerk_out, pot=pot_out)
+
+    # The softening register is set per force call by the owner system.
+    _eps2: float = 0.0
+
+    def set_eps2(self, eps2: float) -> None:
+        self._eps2 = float(eps2)

@@ -1,0 +1,62 @@
+"""GRAPE-4-style floating-point summation — the contrast case.
+
+Section 3.4: "In the case of the usual floating-point format used in
+GRAPE-4, the round-off error generated in the summation depends on the
+order in which the forces from different particles are accumulated, and
+therefore the calculated force is not exactly the same, if the number
+of boards in the system is different."
+
+:func:`grape4_sum` reproduces that behaviour: contributions are split
+over "boards", each board accumulates sequentially in reduced-precision
+floating point, and the per-board partials are combined in the same
+reduced precision.  Tests use it to demonstrate the difference from the
+GRAPE-6 block-floating-point sum, which is partition-invariant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .floatformat import FloatFormat
+
+
+def grape4_sum(
+    contributions: np.ndarray,
+    n_boards: int,
+    accumulator: FloatFormat | None = None,
+) -> np.ndarray:
+    """Sum contributions the GRAPE-4 way: per-board sequential reduced-
+    precision accumulation, then a reduced-precision combine.
+
+    Parameters
+    ----------
+    contributions:
+        (n_j, ...) array; the sum runs over axis 0.
+    n_boards:
+        Number of boards the j-range is striped over (round-robin, the
+        same distribution the GRAPE-6 emulator uses).
+    accumulator:
+        Accumulator float format (default 24-bit mantissa, i.e. a
+        single-precision adder like the commercial FPUs GRAPE-4 used).
+
+    Returns
+    -------
+    The partition-dependent floating-point total.
+    """
+    if n_boards < 1:
+        raise ValueError("n_boards must be positive")
+    fmt = accumulator if accumulator is not None else FloatFormat(24)
+    c = np.asarray(contributions, dtype=np.float64)
+
+    partials = []
+    for b in range(n_boards):
+        chunk = c[b::n_boards]
+        total = np.zeros(c.shape[1:], dtype=np.float64)
+        for row in chunk:  # sequential: round after every addition
+            total = fmt.round(total + fmt.round(row))
+        partials.append(total)
+
+    combined = partials[0]
+    for p in partials[1:]:
+        combined = fmt.round(combined + p)
+    return np.asarray(combined)

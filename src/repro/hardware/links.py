@@ -1,0 +1,107 @@
+"""LVDS link budgets (paper, section 3.3).
+
+GRAPE-6 connects boards with "LVDS Link" / FPD-Link serial channels:
+"four twisted-pair differential signal lines (three for signals and one
+for clock)" over category-5 cable.  This module computes whether a
+link budget closes for a given operating point — the design check
+behind the paper's choice (and behind the claim that the host-GRAPE
+channel does not bottleneck the benchmarks).
+
+An FPD-Link channel serialises 7 bits per signal pair per clock; with
+3 data pairs at the 66 MHz link clock of the era the raw payload rate
+is ~173 MB/s per direction, comfortably above the ~90 MB/s the PCI-era
+host interface sustains — so the serial links never limit, which is
+exactly why the timing model charges only the host-interface bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import constants as C
+from ..perfmodel.grape_time import F_RECORD_BYTES, I_RECORD_BYTES, J_RECORD_BYTES
+
+
+@dataclass(frozen=True)
+class LVDSLink:
+    """One FPD-Link-style serial channel."""
+
+    #: Link clock [Hz] (the serialiser runs 7x internally).
+    clock_hz: float = 66.0e6
+    #: Data pairs per channel ("three for signals and one for clock").
+    data_pairs: int = 3
+    #: Bits serialised per pair per clock (FPD-Link: 7).
+    bits_per_pair_per_clock: int = 7
+
+    @property
+    def payload_mbs(self) -> float:
+        """Raw payload bandwidth [MB/s] of one direction."""
+        bits = self.clock_hz * self.data_pairs * self.bits_per_pair_per_clock
+        return bits / 8.0 / 1.0e6
+
+    @property
+    def signal_count(self) -> int:
+        """Physical signals per port ("8 for one port": 4 pairs x 2)."""
+        return (self.data_pairs + 1) * 2
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """Demand vs capacity of the board input/output links at an
+    operating point."""
+
+    n: int
+    block_size: float
+    demand_in_mbs: float
+    demand_out_mbs: float
+    capacity_mbs: float
+
+    @property
+    def closes(self) -> bool:
+        return (
+            self.demand_in_mbs <= self.capacity_mbs
+            and self.demand_out_mbs <= self.capacity_mbs
+        )
+
+    @property
+    def utilisation(self) -> float:
+        return max(self.demand_in_mbs, self.demand_out_mbs) / self.capacity_mbs
+
+
+def board_link_budget(
+    n: int,
+    block_size: float,
+    steps_per_second: float,
+    link: LVDSLink | None = None,
+) -> LinkBudget:
+    """Link demand of one processor board at a sustained step rate.
+
+    Inbound per particle-step: the i-particle broadcast plus the
+    j-memory writeback of the corrected particle; outbound: the force
+    record.  ``steps_per_second`` is the machine-wide particle-step
+    rate handled through this board's port.
+    """
+    if n < 1 or block_size <= 0 or steps_per_second < 0:
+        raise ValueError("invalid operating point")
+    lk = link if link is not None else LVDSLink()
+    in_bytes = (I_RECORD_BYTES + J_RECORD_BYTES) * steps_per_second
+    out_bytes = F_RECORD_BYTES * steps_per_second
+    return LinkBudget(
+        n=n,
+        block_size=block_size,
+        demand_in_mbs=in_bytes / 1.0e6,
+        demand_out_mbs=out_bytes / 1.0e6,
+        capacity_mbs=lk.payload_mbs,
+    )
+
+
+def paper_operating_point_budget() -> LinkBudget:
+    """The budget at the paper's single-node anchor: N = 2e5 at
+    1 Tflops = ~8.8e4 particle-steps/s through one host's four boards
+    (so ~2.2e4 steps/s per board port)."""
+    steps_per_second = 1.0e12 / (C.FLOPS_PER_INTERACTION * 2.0e5)
+    return board_link_budget(
+        n=200_000,
+        block_size=8300.0,
+        steps_per_second=steps_per_second / 4.0,
+    )

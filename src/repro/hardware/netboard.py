@@ -1,0 +1,127 @@
+"""Network boards and machine partitioning (paper, section 3.2-3.3,
+fig. 3).
+
+A pure 2-D hardware network "cannot divide the system to smaller
+configurations so that we can run multiple programs.  This problem can
+be partly circumvented by attaching a simple switching network before
+[the] memory interface, so that they can select input.  So we adopted
+the network structure shown in figure 3."
+
+:class:`NetworkBoard` models that input-selection switch: it owns up to
+four processor boards and routes each to one of its host ports.  A
+:class:`PartitionedCluster` groups boards into independent partitions —
+each partition behaves exactly like a standalone
+:class:`repro.hardware.system.Grape6Emulator` (same forces, bit for
+bit), which is the design requirement the switch exists to satisfy and
+the property the tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import BoardConfig
+from ..forces.kernels import ForceJerkResult
+from .pipeline import PipelineFormats
+from .system import Grape6Emulator
+
+
+@dataclass
+class PortAssignment:
+    """Routing state of one network board: board index -> port."""
+
+    board_to_port: dict[int, int]
+
+    def boards_on_port(self, port: int) -> list[int]:
+        return sorted(b for b, p in self.board_to_port.items() if p == port)
+
+
+class NetworkBoard:
+    """Input-selection switch in front of four processor boards.
+
+    The real board has four host-side ports and four board-side ports
+    plus links to its sibling network boards; functionally, what
+    matters is the routing: every processor board listens to exactly
+    one host port at a time, and the reduction tree only sums boards
+    routed to the same port.
+    """
+
+    N_PORTS = 4
+
+    def __init__(self, n_boards: int = 4) -> None:
+        if not 1 <= n_boards <= 4:
+            raise ValueError("a network board serves 1-4 processor boards")
+        self.n_boards = n_boards
+        self.assignment = PortAssignment({b: 0 for b in range(n_boards)})
+
+    def route(self, board: int, port: int) -> None:
+        """Point one processor board's input selector at a host port."""
+        if not 0 <= board < self.n_boards:
+            raise IndexError("no such board")
+        if not 0 <= port < self.N_PORTS:
+            raise IndexError("no such port")
+        self.assignment.board_to_port[board] = port
+
+    def partitions(self) -> list[list[int]]:
+        """Groups of boards sharing a port (the active partitions)."""
+        return [
+            self.assignment.boards_on_port(p)
+            for p in range(self.N_PORTS)
+            if self.assignment.boards_on_port(p)
+        ]
+
+
+class PartitionedCluster:
+    """A host's boards split into independently usable sub-machines.
+
+    Parameters
+    ----------
+    eps2_per_partition:
+        Softening for each partition (independent programs may use
+        different softenings — that is the point of partitioning).
+    boards_per_partition:
+        Board counts; their sum is the physical board count.
+    """
+
+    def __init__(
+        self,
+        eps2_per_partition: list[float],
+        boards_per_partition: list[int],
+        board_config: BoardConfig | None = None,
+        formats: PipelineFormats | None = None,
+    ) -> None:
+        if len(eps2_per_partition) != len(boards_per_partition):
+            raise ValueError("one softening per partition required")
+        if any(b < 1 for b in boards_per_partition):
+            raise ValueError("every partition needs at least one board")
+        total = sum(boards_per_partition)
+        if total > 4:
+            raise ValueError("a host drives at most 4 boards")
+        self.netboard = NetworkBoard(total)
+        self.partitions: list[Grape6Emulator] = []
+        board = 0
+        for port, (eps2, n_boards) in enumerate(
+            zip(eps2_per_partition, boards_per_partition)
+        ):
+            for _ in range(n_boards):
+                self.netboard.route(board, port)
+                board += 1
+            self.partitions.append(
+                Grape6Emulator(eps2, boards=n_boards, board_config=board_config,
+                               formats=formats)
+            )
+
+    def __len__(self) -> int:
+        return len(self.partitions)
+
+    def partition(self, index: int) -> Grape6Emulator:
+        return self.partitions[index]
+
+    def forces_on(
+        self, index: int, xi: np.ndarray, vi: np.ndarray, indices=None
+    ) -> ForceJerkResult:
+        """Run a force calculation on one partition (other partitions'
+        state is untouched — independent programs)."""
+        return self.partitions[index].forces_on(xi, vi, indices)

@@ -1,0 +1,110 @@
+"""Hardware self-test: the emulator's acceptance suite.
+
+Real GRAPE installations ship a host-side self-test that pushes known
+vectors through every pipeline and compares against host arithmetic —
+finding dead chips and mis-seated boards.  Section 3.4 notes that the
+machine-size-independent results "make the validation of the result
+much simpler"; this module is that validation, packaged: deterministic
+test patterns, per-output error statistics against float64, and the
+partition-invariance check, in one report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..forces.direct import DirectSummation
+from .system import Grape6Emulator
+
+
+@dataclass
+class SelfTestReport:
+    """Outcome of one emulator acceptance run."""
+
+    n_particles: int
+    boards_tested: tuple[int, ...]
+    max_rel_acc_error: float
+    max_rel_pot_error: float
+    partition_invariant: bool
+    exponent_retries: int
+
+    @property
+    def passed(self) -> bool:
+        """Acceptance: single-precision-class pairwise accuracy and
+        exact machine-size independence."""
+        return (
+            self.partition_invariant
+            and self.max_rel_acc_error < 1.0e-5
+            and self.max_rel_pot_error < 1.0e-6
+        )
+
+
+def _test_pattern(n: int, seed: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Deterministic vectors spanning the dynamic range the pipelines
+    see in production: clustered core, halo outliers, a wide mass
+    spectrum and mixed velocity scales."""
+    rng = np.random.default_rng(seed)
+    x = np.vstack(
+        (
+            rng.normal(0.0, 0.05, (n // 2, 3)),  # dense core
+            rng.normal(0.0, 3.0, (n - n // 2, 3)),  # halo
+        )
+    )
+    v = rng.normal(0.0, 0.7, (n, 3)) * rng.choice([1.0, 0.01], size=(n, 1))
+    m = rng.lognormal(mean=-np.log(n), sigma=1.5, size=n)
+    return x, v, m
+
+
+def run_selftest(
+    n: int = 64,
+    eps2: float = 1.0 / 4096.0,
+    boards: tuple[int, ...] = (1, 2, 4),
+    seed: int = 2003,
+) -> SelfTestReport:
+    """Run the acceptance suite; returns the report.
+
+    Checks, in the order the real test would:
+
+    1. every board count produces *identical* results (section 3.4's
+       design property — a failing adder tree breaks this first);
+    2. results agree with host float64 to the pipeline's precision
+       class.
+    """
+    if n < 2:
+        raise ValueError("need at least two test particles")
+    x, v, m = _test_pattern(n, seed)
+    idx = np.arange(n)
+
+    reference = DirectSummation(eps2)
+    reference.set_j_particles(x, v, m)
+    exact = reference.forces_on(x, v, idx)
+
+    results = []
+    retries = 0
+    for b in boards:
+        emulator = Grape6Emulator(eps2, boards=b)
+        emulator.set_j_particles(x, v, m)
+        results.append(emulator.forces_on(x, v, idx))
+        retries += emulator.stats.exponent_retries
+
+    invariant = all(
+        np.array_equal(results[0].acc, r.acc)
+        and np.array_equal(results[0].jerk, r.jerk)
+        and np.array_equal(results[0].pot, r.pot)
+        for r in results[1:]
+    )
+
+    acc_scale = np.linalg.norm(exact.acc, axis=1) + np.finfo(float).tiny
+    rel_acc = np.max(np.linalg.norm(results[0].acc - exact.acc, axis=1) / acc_scale)
+    rel_pot = np.max(np.abs((results[0].pot - exact.pot) / exact.pot))
+
+    return SelfTestReport(
+        n_particles=n,
+        boards_tested=tuple(boards),
+        max_rel_acc_error=float(rel_acc),
+        max_rel_pot_error=float(rel_pot),
+        partition_invariant=invariant,
+        exponent_retries=retries,
+    )

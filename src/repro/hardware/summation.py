@@ -1,0 +1,32 @@
+"""FPGA summation units (paper, section 3.4).
+
+Between chips, GRAPE-6 sums partial forces with FPGA-implemented
+fixed-point adders — the design decision the block floating point
+format exists to enable ("With this block floating point method, we can
+greatly simplify the design of the hardware to take the summation").
+
+In the emulator the adders are exact integer additions on the chips'
+partial sums; this module provides the reduction helper shared by the
+module-level (4 chips), board-level (8 modules) and host-level
+(n boards) adder trees.  Exactness at every level is what makes the
+final force independent of the machine configuration.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Iterable
+
+from .chip import PartialForce
+
+
+def reduce_partials(partials: Iterable[PartialForce]) -> PartialForce:
+    """Exact fixed-point reduction of partial forces (the adder tree).
+
+    Integer addition is associative, so any tree shape gives the same
+    result; we fold left for simplicity.
+    """
+    parts = list(partials)
+    if not parts:
+        raise ValueError("nothing to reduce")
+    return reduce(PartialForce.combine, parts)

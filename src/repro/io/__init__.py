@@ -1,0 +1,13 @@
+"""Snapshot I/O, run logging and table formatting."""
+
+from .snapshot import read_snapshot, write_snapshot
+from .runlog import RunLogger, read_runlog
+from .tables import format_table
+
+__all__ = [
+    "write_snapshot",
+    "read_snapshot",
+    "RunLogger",
+    "read_runlog",
+    "format_table",
+]

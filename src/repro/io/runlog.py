@@ -1,0 +1,80 @@
+"""Structured run logging: one JSON line per sample.
+
+Production GRAPE runs log blockstep-level diagnostics for post-hoc
+performance analysis — exactly the data figs. 14/16/18 were drawn from.
+:class:`RunLogger` appends JSON records (time, blockstep counters,
+energies) to a file that :func:`read_runlog` loads back as columns.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Any
+
+import numpy as np
+
+
+class RunLogger:
+    """Append-only JSONL logger for integration runs.
+
+    Use as a context manager::
+
+        with RunLogger(path, run="plummer-1k") as log:
+            ...
+            log.sample(t=integ.t, blocksteps=integ.stats.blocksteps, E=e)
+    """
+
+    def __init__(self, path: str | Path, **header: Any) -> None:
+        self.path = Path(path)
+        self._fh: IO[str] | None = None
+        self._header = header
+
+    def __enter__(self) -> "RunLogger":
+        self._fh = self.path.open("a")
+        if self._header:
+            self._write({"kind": "header", **self._header})
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def _write(self, record: dict) -> None:
+        if self._fh is None:
+            raise RuntimeError("logger used outside its context")
+        self._fh.write(json.dumps(record, default=_coerce) + "\n")
+
+    def sample(self, **fields: Any) -> None:
+        """Record one sample (arbitrary JSON-serialisable fields)."""
+        self._write({"kind": "sample", **fields})
+
+
+def _coerce(obj: Any):
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(f"not JSON-serialisable: {type(obj)!r}")
+
+
+def read_runlog(path: str | Path) -> tuple[dict, dict[str, list]]:
+    """Load a run log; returns (header, columns-of-samples)."""
+    header: dict = {}
+    columns: dict[str, list] = {}
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.pop("kind", "sample")
+            if kind == "header":
+                header.update(record)
+            else:
+                for key, value in record.items():
+                    columns.setdefault(key, []).append(value)
+    return header, columns

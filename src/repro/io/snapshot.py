@@ -1,0 +1,64 @@
+"""Snapshot files.
+
+A minimal self-describing format in NumPy's ``.npz`` container: masses,
+positions, velocities, per-particle times/steps and the force
+derivatives, plus a metadata header.  Production GRAPE runs checkpoint
+exactly this state ("The whole simulation, including file operations,
+took 16.30 hours" — file operations are part of the accounted wall
+time), and restart capability requires the higher derivatives too.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..core.particles import ParticleSystem
+
+#: Format version written into every snapshot.
+SNAPSHOT_VERSION = 1
+
+
+def write_snapshot(
+    path: str | Path,
+    system: ParticleSystem,
+    t: float,
+    metadata: dict | None = None,
+) -> None:
+    """Write a restartable snapshot of the system state."""
+    meta = {"version": SNAPSHOT_VERSION, "t": float(t), "n": system.n}
+    if metadata:
+        meta.update(metadata)
+    np.savez_compressed(
+        Path(path),
+        header=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        mass=system.mass,
+        pos=system.pos,
+        vel=system.vel,
+        acc=system.acc,
+        jerk=system.jerk,
+        snap=system.snap,
+        crackle=system.crackle,
+        pot=system.pot,
+        t_particle=system.t,
+        dt=system.dt,
+    )
+
+
+def read_snapshot(path: str | Path) -> tuple[ParticleSystem, dict]:
+    """Read a snapshot; returns (system, metadata)."""
+    with np.load(Path(path)) as data:
+        meta = json.loads(bytes(data["header"]).decode())
+        if meta.get("version") != SNAPSHOT_VERSION:
+            raise ValueError(f"unsupported snapshot version {meta.get('version')!r}")
+        system = ParticleSystem(data["mass"], data["pos"], data["vel"])
+        system.acc[...] = data["acc"]
+        system.jerk[...] = data["jerk"]
+        system.snap[...] = data["snap"]
+        system.crackle[...] = data["crackle"]
+        system.pot[...] = data["pot"]
+        system.t[...] = data["t_particle"]
+        system.dt[...] = data["dt"]
+    return system, meta

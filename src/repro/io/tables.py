@@ -1,0 +1,39 @@
+"""Plain-text table formatting for benchmark output.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; this helper keeps that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Floats go through ``float_format``; everything else through str().
+    """
+    rendered: list[list[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    if any(len(r) != len(rendered[0]) for r in rendered):
+        raise ValueError("ragged table rows")
+
+    widths = [max(len(r[c]) for r in rendered) for c in range(len(rendered[0]))]
+    lines = []
+    for i, row in enumerate(rendered):
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

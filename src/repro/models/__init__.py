@@ -1,0 +1,26 @@
+"""Initial-condition generators for the paper's workloads.
+
+* :func:`plummer_model` — the benchmark workload of section 4 (an
+  equal-mass Plummer sphere in Heggie units);
+* :func:`kuiper_belt_model` — the early-Kuiper-belt planetesimal disc
+  of the first production application (section 5);
+* :func:`binary_black_hole_model` — Plummer sphere plus two 0.5%-mass
+  "black hole" particles (second application, section 5);
+* :func:`uniform_sphere` and :func:`cold_sphere` — auxiliary models for
+  tests and ablations.
+"""
+
+from .plummer import plummer_model
+from .kuiper import kuiper_belt_model
+from .blackhole import binary_black_hole_model
+from .king import king_model
+from .uniform import cold_sphere, uniform_sphere
+
+__all__ = [
+    "plummer_model",
+    "kuiper_belt_model",
+    "binary_black_hole_model",
+    "king_model",
+    "uniform_sphere",
+    "cold_sphere",
+]

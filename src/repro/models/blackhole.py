@@ -1,0 +1,60 @@
+"""Binary black hole in a star cluster (section 5, second application).
+
+"The initial model is a standard Plummer model.  We placed two 'black
+hole' particles, which are just massive point-mass particles, with mass
+0.5% of the total mass of the system."
+
+The two massive particles are placed symmetrically at a configurable
+separation inside the cluster with a tangential velocity near the local
+circular speed; the stellar background keeps the Heggie-unit Plummer
+normalisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.particles import ParticleSystem
+from ..units import plummer_scale_radius
+from .plummer import plummer_model
+
+
+def binary_black_hole_model(
+    n_stars: int,
+    seed: int | None = 1,
+    bh_mass_fraction: float = 0.005,
+    separation: float = 1.0,
+) -> ParticleSystem:
+    """Plummer cluster of ``n_stars`` equal-mass stars plus two black
+    holes of ``bh_mass_fraction`` of the *total* system mass each.
+
+    The black holes are the last two particles (indices n_stars and
+    n_stars + 1), positioned at +/- separation/2 on the x-axis with
+    tangential velocities set to the circular speed in the Plummer
+    potential at that radius, so they start on roughly circular
+    counter-orbits and sink by dynamical friction — the configuration
+    whose hardening the paper's application follows.
+    """
+    if n_stars < 2:
+        raise ValueError("need at least two stars")
+    if not 0.0 < bh_mass_fraction < 0.5:
+        raise ValueError("bh_mass_fraction must be in (0, 0.5)")
+
+    stars = plummer_model(n_stars, seed=seed)
+    m_bh = bh_mass_fraction  # total system mass is 1 by construction
+    m_star_total = 1.0 - 2.0 * m_bh
+    mass = np.concatenate((stars.mass * m_star_total, [m_bh, m_bh]))
+
+    a = plummer_scale_radius()
+    r = separation / 2.0
+    # circular speed in the Plummer potential: v_c^2 = M r^2/(r^2+a^2)^{3/2}
+    v_c = np.sqrt(r * r / (r * r + a * a) ** 1.5)
+
+    bh_pos = np.array([[r, 0.0, 0.0], [-r, 0.0, 0.0]])
+    bh_vel = np.array([[0.0, v_c, 0.0], [0.0, -v_c, 0.0]])
+
+    pos = np.vstack((stars.pos, bh_pos))
+    vel = np.vstack((stars.vel, bh_vel))
+    system = ParticleSystem(mass, pos, vel)
+    system.to_center_of_mass_frame()
+    return system

@@ -1,0 +1,185 @@
+"""King (1966) model sampling.
+
+Globular clusters — the core science target of GRAPE-class machines —
+are conventionally modelled as King profiles: lowered isothermal
+spheres truncated at a tidal radius, parameterised by the central
+potential depth ``W0``.  The binary-black-hole application's host
+cluster (section 5) is the kind of system these describe.
+
+Construction: integrate the dimensionless Poisson equation for the
+escape-energy profile W(r), sample radii from the cumulative mass, and
+sample speeds from the lowered Maxwellian by rejection; finally rescale
+to Heggie units (G = M = 1, E = -1/4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.particles import ParticleSystem
+from ..forces.kernels import kinetic_energy, potential_energy
+
+
+def _king_density(w: np.ndarray) -> np.ndarray:
+    """Dimensionless King density rho(W)/rho_1.
+
+    rho(W) = e^W erf(sqrt W) - sqrt(4W/pi) (1 + 2W/3), W > 0.
+    """
+    from scipy.special import erf
+
+    w = np.asarray(w, dtype=np.float64)
+    out = np.zeros_like(w)
+    pos = w > 0
+    wp = w[pos]
+    out[pos] = np.exp(wp) * erf(np.sqrt(wp)) - np.sqrt(4.0 * wp / np.pi) * (
+        1.0 + 2.0 * wp / 3.0
+    )
+    return out
+
+
+def _solve_king_structure(w0: float, n_grid: int = 2000):
+    """Integrate the King Poisson equation outward from the centre.
+
+    Returns radius grid, W(r), and enclosed mass M(r) in King units
+    (core radius r_c = 1 at the conventional scaling 9/(4 pi G rho_0)).
+    Integration stops at the tidal radius W -> 0.
+    """
+    from scipy.integrate import solve_ivp
+
+    rho0 = _king_density(np.array([w0]))[0]
+
+    def rhs(r, y):
+        w, dw = y
+        rho = _king_density(np.array([w]))[0] / rho0
+        # d2W/dr2 + (2/r) dW/dr = -9 rho  (King's dimensionless form)
+        d2w = -9.0 * rho - (2.0 / r) * dw if r > 0 else -3.0
+        return [dw, d2w]
+
+    def hit_tidal(r, y):
+        return y[0]
+
+    hit_tidal.terminal = True
+    hit_tidal.direction = -1
+
+    r0 = 1e-6
+    sol = solve_ivp(
+        rhs,
+        [r0, 1e4],
+        [w0, 0.0],
+        events=hit_tidal,
+        max_step=0.05,
+        rtol=1e-8,
+        atol=1e-10,
+        dense_output=True,
+    )
+    if sol.t_events[0].size == 0:
+        raise RuntimeError(f"King model W0={w0} did not reach a tidal radius")
+    r_t = float(sol.t_events[0][0])
+
+    r = np.linspace(r0, r_t, n_grid)
+    w = sol.sol(r)[0]
+    w = np.clip(w, 0.0, None)
+    rho = _king_density(w) / rho0
+    # enclosed mass by trapezoidal integration of 4 pi r^2 rho
+    integrand = 4.0 * np.pi * r * r * rho
+    m = np.concatenate(([0.0], np.cumsum((integrand[1:] + integrand[:-1]) / 2.0 * np.diff(r))))
+    return r, w, m
+
+
+def king_model(
+    n: int,
+    w0: float = 6.0,
+    seed: int | None = 1,
+    to_heggie_units: bool = True,
+) -> ParticleSystem:
+    """Sample an equal-mass King model.
+
+    Parameters
+    ----------
+    n:
+        Number of particles.
+    w0:
+        Central dimensionless potential (3: very loose, 6: typical
+        globular, 9+: centrally concentrated, near-isothermal core).
+    seed:
+        RNG seed.
+    to_heggie_units:
+        Rescale positions/velocities so G = M = 1, E = -1/4.
+    """
+    if n < 2:
+        raise ValueError("n must be >= 2")
+    if not 0.5 <= w0 <= 12.0:
+        raise ValueError("w0 outside the supported range [0.5, 12]")
+    rng = np.random.default_rng(seed)
+
+    r_grid, w_grid, m_grid = _solve_king_structure(w0)
+    m_total = m_grid[-1]
+
+    # radii from inverse cumulative mass
+    u = rng.uniform(0.0, 1.0, n) * m_total
+    radii = np.interp(u, m_grid, r_grid)
+    w_at_r = np.interp(radii, r_grid, w_grid)
+
+    z = rng.uniform(-1.0, 1.0, n)
+    phi = rng.uniform(0.0, 2.0 * np.pi, n)
+    s = np.sqrt(1.0 - z * z)
+    pos = radii[:, None] * np.column_stack((s * np.cos(phi), s * np.sin(phi), z))
+
+    # speeds: f(v) dv ~ v^2 [exp(W - v^2/2) - 1] for v < v_esc = sqrt(2W)
+    # (velocities in units where sigma_K = 1)
+    speeds = np.empty(n)
+    for i in range(n):
+        w = w_at_r[i]
+        v_esc = np.sqrt(2.0 * max(w, 1e-12))
+        g_max = v_esc * v_esc * max(np.exp(w) - 1.0, 1e-12)
+        while True:
+            v = rng.uniform(0.0, v_esc)
+            g = v * v * (np.exp(w - 0.5 * v * v) - 1.0)
+            if rng.uniform(0.0, g_max) < g:
+                speeds[i] = v
+                break
+
+    z = rng.uniform(-1.0, 1.0, n)
+    phi = rng.uniform(0.0, 2.0 * np.pi, n)
+    s = np.sqrt(1.0 - z * z)
+    vel = speeds[:, None] * np.column_stack((s * np.cos(phi), s * np.sin(phi), z))
+
+    mass = np.full(n, 1.0 / n)
+    system = ParticleSystem(mass, pos, vel)
+    system.to_center_of_mass_frame()
+
+    # The sampled speeds are in King's sigma units while the radii are
+    # in core radii; with G = 1 and unit mass these are not mutually
+    # consistent.  A self-consistent King model is in virial
+    # equilibrium, so fix the velocity scale by imposing Q = T/|U| = 1/2
+    # on the sampled realisation (the shape of the speed distribution
+    # is preserved).
+    t = kinetic_energy(system.vel, system.mass)
+    u = potential_energy(system.pos, system.mass, eps2=0.0)
+    system.vel *= np.sqrt(0.5 * abs(u) / t)
+
+    if to_heggie_units:
+        _rescale_to_heggie(system)
+    return system
+
+
+def _rescale_to_heggie(system: ParticleSystem) -> None:
+    """Rescale an arbitrary bound system to G = M = 1, E = -1/4.
+
+    Positions scale by -U/(true U target) and velocities so the virial
+    ratio is preserved; standard Heggie-unit normalisation.
+    """
+    t = kinetic_energy(system.vel, system.mass)
+    u = potential_energy(system.pos, system.mass, eps2=0.0)
+    if u >= 0.0:
+        raise ValueError("system is not bound; cannot rescale")
+    q = t / abs(u)
+    # target: U' = -(1/2)/(1 - q') with E = T' + U' = -1/4 and T' = q' |U'|
+    # keep the virial ratio q fixed: E = (q - 1) |U'|  => |U'| = 1/(4(1-q))
+    if q >= 1.0:
+        raise ValueError("unbound virial ratio")
+    u_target = -1.0 / (4.0 * (1.0 - q))
+    length_scale = u / u_target  # positions multiply by this
+    system.pos *= length_scale
+    t_target = q * abs(u_target)
+    system.vel *= np.sqrt(t_target / t) if t > 0 else 0.0

@@ -1,0 +1,107 @@
+"""Plummer-model sampling in Heggie (standard N-body) units.
+
+The paper's benchmark: "we integrated the Plummer model with equal-mass
+particles for 1 time unit (we use the 'Heggie' unit)".
+
+A Plummer sphere has density
+
+    rho(r) = (3 M / 4 pi a^3) (1 + r^2/a^2)^{-5/2}
+
+and in Heggie units (G = M = 1, E = -1/4) the scale radius is
+``a = 3 pi / 16``.  Sampling follows the classical Aarseth, Henon &
+Wielen (1974) recipe: invert the cumulative mass profile for radius and
+von Neumann-reject the velocity distribution ``g(q) = q^2 (1-q^2)^{7/2}``
+against its maximum, where ``q = v / v_esc(r)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.particles import ParticleSystem
+from ..units import plummer_scale_radius
+
+
+def _isotropic_vectors(rng: np.random.Generator, r: np.ndarray) -> np.ndarray:
+    """Vectors of given radii r with isotropic random directions."""
+    n = r.shape[0]
+    z = rng.uniform(-1.0, 1.0, n)
+    phi = rng.uniform(0.0, 2.0 * np.pi, n)
+    s = np.sqrt(1.0 - z * z)
+    return r[:, None] * np.column_stack((s * np.cos(phi), s * np.sin(phi), z))
+
+
+def _sample_velocity_fraction(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Sample q = v/v_esc from g(q) = q^2 (1 - q^2)^{7/2} by rejection.
+
+    The comparison constant 0.1 bounds g (max g ~= 0.092 at q ~= 0.42),
+    giving ~50% acceptance; the loop draws in vectorised batches.
+    """
+    out = np.empty(n)
+    filled = 0
+    while filled < n:
+        need = n - filled
+        batch = max(64, int(need * 2.2))
+        q = rng.uniform(0.0, 1.0, batch)
+        g = q * q * (1.0 - q * q) ** 3.5
+        accept = rng.uniform(0.0, 0.1, batch) < g
+        take = min(need, int(accept.sum()))
+        out[filled : filled + take] = q[accept][:take]
+        filled += take
+    return out
+
+
+def plummer_model(
+    n: int,
+    seed: int | None = 1,
+    truncate_radius: float = 22.8,
+    to_com_frame: bool = True,
+) -> ParticleSystem:
+    """Sample an equal-mass Plummer sphere in Heggie units.
+
+    Parameters
+    ----------
+    n:
+        Number of particles.
+    seed:
+        Seed for the numpy Generator (deterministic by default so that
+        benchmarks and tests are reproducible).
+    truncate_radius:
+        Discard-and-resample radius in scale lengths (the conventional
+        22.8 a cut encloses ~99.9% of the mass and avoids far-flung
+        outliers that would dominate the block-timestep tail).
+    to_com_frame:
+        Shift to the barycentric frame (standard practice; the paper's
+        runs conserve total momentum).
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = np.random.default_rng(seed)
+    a = plummer_scale_radius()
+
+    # radius from the inverse cumulative mass profile:
+    # M(<r)/M = (r/a)^3 / (1 + r^2/a^2)^{3/2}  =>  r = a (u^{-2/3} - 1)^{-1/2}
+    r = np.empty(n)
+    filled = 0
+    while filled < n:
+        need = n - filled
+        u = rng.uniform(0.0, 1.0, int(need * 1.1) + 8)
+        u = u[u > 0.0]
+        rad = a / np.sqrt(u ** (-2.0 / 3.0) - 1.0)
+        rad = rad[rad < truncate_radius * a]
+        take = min(need, rad.shape[0])
+        r[filled : filled + take] = rad[:take]
+        filled += take
+
+    pos = _isotropic_vectors(rng, r)
+
+    # escape speed at radius r: v_esc^2 = -2 phi = 2 / sqrt(r^2 + a^2)
+    v_esc = np.sqrt(2.0) * (r * r + a * a) ** -0.25
+    q = _sample_velocity_fraction(rng, n)
+    vel = _isotropic_vectors(rng, q * v_esc)
+
+    mass = np.full(n, 1.0 / n)
+    system = ParticleSystem(mass, pos, vel)
+    if to_com_frame:
+        system.to_center_of_mass_frame()
+    return system

@@ -1,0 +1,50 @@
+"""Auxiliary test models: uniform (virialised) and cold spheres."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.particles import ParticleSystem
+
+
+def _uniform_ball(rng: np.random.Generator, n: int, radius: float) -> np.ndarray:
+    """Uniformly distributed points in a ball of the given radius."""
+    r = radius * rng.uniform(0.0, 1.0, n) ** (1.0 / 3.0)
+    z = rng.uniform(-1.0, 1.0, n)
+    phi = rng.uniform(0.0, 2.0 * np.pi, n)
+    s = np.sqrt(1.0 - z * z)
+    return r[:, None] * np.column_stack((s * np.cos(phi), s * np.sin(phi), z))
+
+
+def uniform_sphere(
+    n: int, seed: int | None = 1, radius: float = 1.0, virial_ratio: float = 0.5
+) -> ParticleSystem:
+    """Uniform-density sphere with Maxwellian velocities scaled to the
+    requested virial ratio Q = T/|U| (Q = 0.5 is equilibrium).
+
+    The potential energy of a homogeneous sphere of unit mass is
+    U = -3/(5 R), which fixes the velocity dispersion analytically —
+    handy for tests that need a known energy budget without measuring.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = np.random.default_rng(seed)
+    pos = _uniform_ball(rng, n, radius)
+    u_total = -3.0 / (5.0 * radius)
+    t_total = virial_ratio * abs(u_total)
+    # T = (3/2) sigma^2 for unit total mass with isotropic dispersion sigma
+    sigma = np.sqrt(2.0 * t_total / 3.0)
+    vel = rng.normal(0.0, sigma, (n, 3))
+    mass = np.full(n, 1.0 / n)
+    system = ParticleSystem(mass, pos, vel)
+    system.to_center_of_mass_frame()
+    return system
+
+
+def cold_sphere(n: int, seed: int | None = 1, radius: float = 1.0) -> ParticleSystem:
+    """Zero-velocity uniform sphere (cold collapse): the classic stress
+    test for block-timestep schemes — the collapse drives a huge spread
+    of timesteps near the bounce."""
+    system = uniform_sphere(n, seed=seed, radius=radius, virial_ratio=0.5)
+    system.vel[...] = 0.0
+    return system

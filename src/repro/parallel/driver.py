@@ -1,0 +1,56 @@
+"""Parallel block-timestep integration driver.
+
+Couples the serial :class:`repro.core.individual.BlockTimestepIntegrator`
+with one of the parallel force algorithms: forces come from the
+algorithm (which charges virtual communication/computation time), and
+after every blockstep the algorithm's coherence exchange runs.
+
+Because all three algorithms compute the same float64 sums up to
+reassociation, a parallel run tracks the serial trajectory; the
+copy algorithm is numerically *identical* to serial (each particle's
+force is always a complete sum on one node), which tests assert
+bitwise.
+"""
+
+from __future__ import annotations
+
+from ..core.individual import BlockTimestepIntegrator, StepStatistics
+from ..core.particles import ParticleSystem
+
+
+class ParallelBlockIntegrator(BlockTimestepIntegrator):
+    """Block-timestep Hermite integration over a parallel force backend.
+
+    Parameters
+    ----------
+    system, eps2:
+        As for the serial integrator.
+    algorithm:
+        A parallel force backend (:class:`CopyAlgorithm`,
+        :class:`RingAlgorithm` or :class:`Grid2DAlgorithm`) — it must
+        also provide ``exchange_updated(block)`` and a ``network``.
+    kwargs:
+        Forwarded to the serial integrator.
+    """
+
+    def __init__(self, system: ParticleSystem, eps2: float, algorithm, **kwargs) -> None:
+        self.algorithm = algorithm
+        super().__init__(system, eps2, backend=algorithm, **kwargs)
+
+    def step(self) -> tuple[float, int]:
+        t_block, _ = self.scheduler.next_block()
+        # capture the block before the parent mutates the schedule
+        _, block = self.scheduler.next_block()
+        result = super().step()
+        self.algorithm.exchange_updated(block)
+        del t_block
+        return result
+
+    @property
+    def virtual_time_us(self) -> float:
+        """Simulated wall-clock of the parallel run so far."""
+        return self.algorithm.network.clock.elapsed
+
+    def run(self, t_end: float, max_blocksteps: int | None = None) -> StepStatistics:
+        stats = super().run(t_end, max_blocksteps=max_blocksteps)
+        return stats

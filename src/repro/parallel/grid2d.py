@@ -1,0 +1,184 @@
+"""The 2-D hybrid algorithm (paper, section 3.2; Makino 2002).
+
+Processors form an r x r grid; particle subsets are sliced so that
+processor p_ij holds copies of subsets i (the i-side) and j (the
+j-side).  One blockstep:
+
+1. every p_ij computes partial forces on the block's members from
+   subset i, using subset j as sources;
+2. partials are reduced across each row to the diagonal processor
+   p_ii (r-1 messages of force records per row);
+3. p_ii corrects its block members;
+4. the updated particles are broadcast along row i and column i so both
+   copies stay coherent (2(r-1) messages of particle records).
+
+"The amount of communication for one node is O(N/r) ... the effective
+communication bandwidth is increased by a factor r."  In GRAPE-6 the
+same dataflow is implemented *in hardware* by the board grid of fig. 12
+for up to 4 hosts — which is why single-cluster scaling (fig. 15) is so
+much better than multi-cluster (fig. 17).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..forces.direct import DirectSummation
+from ..forces.kernels import ForceJerkResult
+from .simcomm import PARTICLE_BYTES, SimNetwork
+from .topology import Grid2D
+
+#: Bytes per reduced force record (acc + jerk + pot = 7 doubles).
+FORCE_RECORD_BYTES: int = 7 * 8
+
+
+class Grid2DAlgorithm:
+    """r x r grid force backend with row-reduction and row/column
+    coherence broadcasts.
+
+    The reduction sums r float64 partials in row order — deterministic,
+    and equal to the serial force up to reassociation rounding.  (On
+    the real machine this reduction is the fixed-point hardware tree,
+    hence exact; the emulator-backed tests in
+    ``tests/integration/test_hardware_integration.py`` cover that
+    stronger property.)
+    """
+
+    def __init__(
+        self,
+        network: SimNetwork,
+        eps2: float,
+        compute_time_us: Callable[[int, int, int], float] | None = None,
+    ) -> None:
+        self.network = network
+        self.grid = Grid2D.from_ranks(network.n_ranks)
+        self.eps2 = float(eps2)
+        self.compute_time_us = compute_time_us
+        r = self.grid.r
+        self._engines = [[DirectSummation(eps2) for _ in range(r)] for _ in range(r)]
+        self._subsets: list[np.ndarray] = []
+        self._n = 0
+
+    def set_j_particles(self, x: np.ndarray, v: np.ndarray, m: np.ndarray) -> None:
+        """Load subset j into the engines of grid column j.
+
+        Every processor predicts its two local subsets itself, so the
+        load is communication-free.
+        """
+        self._n = x.shape[0]
+        self._subsets = self.grid.subset_slices(self._n)
+        r = self.grid.r
+        for col in range(r):
+            idx = self._subsets[col]
+            for row in range(r):
+                self._engines[row][col].set_j_particles(x[idx], v[idx], m[idx])
+
+    def forces_on(
+        self,
+        xi: np.ndarray,
+        vi: np.ndarray,
+        indices: np.ndarray | None = None,
+    ) -> ForceJerkResult:
+        """Row-partitioned partial forces reduced to the diagonal.
+
+        The caller's block is split by subset membership: block members
+        of subset i are handled by grid row i.  ``indices`` must be the
+        global indices of the targets (required to route them to rows);
+        targets outside the system (indices=None) are broadcast to row 0.
+        """
+        n_b = xi.shape[0]
+        if indices is None:
+            indices = np.full(n_b, -1)
+        indices = np.asarray(indices)
+        acc = np.empty((n_b, 3))
+        jerk = np.empty((n_b, 3))
+        pot = np.empty(n_b)
+        interactions = 0
+        r = self.grid.r
+
+        for row in range(r):
+            subset = self._subsets[row]
+            if subset.size:
+                lo, hi = subset[0], subset[-1]
+                rows_mask = (indices >= lo) & (indices <= hi)
+            else:
+                rows_mask = np.zeros(n_b, dtype=bool)
+            if row == 0:
+                rows_mask |= indices < 0  # external targets
+            rows = np.flatnonzero(rows_mask)
+            if rows.size == 0:
+                continue
+
+            partial_acc = np.zeros((rows.size, 3))
+            partial_jerk = np.zeros((rows.size, 3))
+            partial_pot = np.zeros(rows.size)
+            for col in range(r):
+                res = self._engines[row][col].forces_on(
+                    xi[rows], vi[rows], indices[rows]
+                )
+                partial_acc += res.acc
+                partial_jerk += res.jerk
+                partial_pot += res.pot
+                n_local = self._subsets[col].size
+                self_pairs = int(
+                    np.count_nonzero(
+                        (indices[rows] >= self._subsets[col][0])
+                        & (indices[rows] <= self._subsets[col][-1])
+                    )
+                ) if n_local else 0
+                interactions += rows.size * n_local - self_pairs
+                if self.compute_time_us is not None:
+                    self.network.clock.advance(
+                        self.grid.rank(row, col),
+                        self.compute_time_us(self.grid.rank(row, col), rows.size, n_local),
+                    )
+                # reduction hop to the diagonal processor
+                if col != row:
+                    self.network.send(
+                        self.grid.rank(row, col),
+                        self.grid.rank(row, row),
+                        None,
+                        rows.size * FORCE_RECORD_BYTES,
+                        tag=3000 + row,
+                    )
+            for col in range(r):
+                if col != row:
+                    self.network.recv(
+                        self.grid.rank(row, row), self.grid.rank(row, col), tag=3000 + row
+                    )
+
+            acc[rows] = partial_acc
+            jerk[rows] = partial_jerk
+            pot[rows] = partial_pot
+
+        return ForceJerkResult(acc=acc, jerk=jerk, pot=pot, interactions=interactions)
+
+    def exchange_updated(self, block: np.ndarray) -> None:
+        """Broadcast updated particles along each diagonal's row and
+        column, then barrier."""
+        r = self.grid.r
+        if r == 1:
+            return
+        block = np.asarray(block)
+        for i in range(r):
+            subset = self._subsets[i]
+            if subset.size == 0:
+                continue
+            members = block[(block >= subset[0]) & (block <= subset[-1])]
+            if members.size == 0:
+                continue
+            nbytes = int(members.size) * PARTICLE_BYTES
+            src = self.grid.rank(i, i)
+            for j in range(r):
+                if j == i:
+                    continue
+                self.network.send(src, self.grid.rank(i, j), None, nbytes, tag=4000 + i)
+                self.network.send(src, self.grid.rank(j, i), None, nbytes, tag=5000 + i)
+            for j in range(r):
+                if j == i:
+                    continue
+                self.network.recv(self.grid.rank(i, j), src, tag=4000 + i)
+                self.network.recv(self.grid.rank(j, i), src, tag=5000 + i)
+        self.network.barrier()

@@ -1,0 +1,168 @@
+"""The full-machine algorithm: 2-D grids inside clusters, the copy
+algorithm across them (paper, section 4.3).
+
+"Parallelization over multiple clusters is achieved by the so-called
+'copy' algorithm, where each cluster maintains the complete copy of the
+entire system, but integrates only its share of particles.  After one
+step is finished, all clusters exchange the updated particles."
+
+Inside each cluster the force calculation runs on the 2-D
+board/host grid (:class:`repro.parallel.grid2d.Grid2DAlgorithm`); the
+clusters talk over the Ethernet NICs.  This module composes the two —
+the configuration of figs. 17/18 — as one force backend, so the same
+block-timestep integrator drives a functional simulation of the whole
+16-host machine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import NICConfig, NIC_NS83820
+from ..forces.kernels import ForceJerkResult
+from .grid2d import Grid2DAlgorithm
+from .simcomm import PARTICLE_BYTES, SimNetwork
+
+
+class HybridAlgorithm:
+    """Copy-over-clusters of grid-inside-cluster force backend.
+
+    Parameters
+    ----------
+    clusters:
+        Number of clusters (each simulated with a 2x2 host grid, the
+        4-host arrangement of the real machine).
+    eps2:
+        Softening squared.
+    nic:
+        Host NIC model for both the intra-cluster synchronisation and
+        the inter-cluster exchange.
+    hosts_per_cluster:
+        Must be a perfect square (grid requirement); 4 on the real
+        machine.
+    """
+
+    def __init__(
+        self,
+        clusters: int,
+        eps2: float,
+        nic: NICConfig = NIC_NS83820,
+        hosts_per_cluster: int = 4,
+    ) -> None:
+        if clusters < 1:
+            raise ValueError("need at least one cluster")
+        self.c = clusters
+        self.eps2 = float(eps2)
+        #: One virtual network per cluster (the in-cluster traffic runs
+        #: over the GRAPE network boards and host Ethernet)...
+        self.cluster_nets = [SimNetwork(hosts_per_cluster, nic) for _ in range(clusters)]
+        #: ...plus the cluster-to-cluster Ethernet (one rank per cluster;
+        #: the four hosts drive four parallel links, modelled as 4x the
+        #: per-message bandwidth of a single NIC).
+        self.inter_net = SimNetwork(
+            max(clusters, 2),
+            NICConfig(
+                name=f"{nic.name}-x{hosts_per_cluster}",
+                rtt_latency_us=nic.rtt_latency_us,
+                bandwidth_mbs=nic.bandwidth_mbs * hosts_per_cluster,
+            ),
+        )
+        self.grids = [
+            Grid2DAlgorithm(net, eps2) for net in self.cluster_nets
+        ]
+        self._n = 0
+
+    # -- ForceBackend ------------------------------------------------------------
+
+    def set_j_particles(self, x: np.ndarray, v: np.ndarray, m: np.ndarray) -> None:
+        """Every cluster receives the full predicted copy (prediction is
+        local to each cluster; no inter-cluster traffic)."""
+        self._n = x.shape[0]
+        for grid in self.grids:
+            grid.set_j_particles(x, v, m)
+
+    def share(self, block: np.ndarray, cluster: int) -> np.ndarray:
+        """Block members integrated by the given cluster (round-robin)."""
+        return np.asarray(block[cluster :: self.c])
+
+    def forces_on(
+        self,
+        xi: np.ndarray,
+        vi: np.ndarray,
+        indices: np.ndarray | None = None,
+    ) -> ForceJerkResult:
+        """Each cluster computes complete forces for its share using its
+        internal 2-D grid; shares are disjoint, so assembly is exact."""
+        n_b = xi.shape[0]
+        if indices is None:
+            indices = np.arange(n_b)
+        indices = np.asarray(indices)
+        acc = np.empty((n_b, 3))
+        jerk = np.empty((n_b, 3))
+        pot = np.empty(n_b)
+        interactions = 0
+        for k in range(self.c):
+            rows = np.arange(k, n_b, self.c)
+            if rows.size == 0:
+                continue
+            res = self.grids[k].forces_on(xi[rows], vi[rows], indices[rows])
+            acc[rows] = res.acc
+            jerk[rows] = res.jerk
+            pot[rows] = res.pot
+            interactions += res.interactions
+        return ForceJerkResult(acc=acc, jerk=jerk, pot=pot, interactions=interactions)
+
+    # -- coherence ------------------------------------------------------------------
+
+    def exchange_updated(self, block: np.ndarray) -> None:
+        """Close the blockstep: inter-cluster ring allgather of the
+        updated shares, intra-cluster coherence broadcasts, and a global
+        synchronisation (the paper's full-machine barrier whose latency
+        builds fig. 18's wall)."""
+        block = np.asarray(block)
+        if self.c > 1:
+            # ring allgather of the updated shares between clusters
+            for shift in range(1, self.c):
+                for k in range(self.c):
+                    origin = (k - shift + 1) % self.c
+                    nbytes = int(self.share(block, origin).size) * PARTICLE_BYTES
+                    self.inter_net.send(k, (k + 1) % self.c, None, nbytes,
+                                        tag=7000 + shift)
+                for k in range(self.c):
+                    self.inter_net.recv(k, (k - 1) % self.c, tag=7000 + shift)
+        # every cluster pushes the full updated block through its grid
+        for grid in self.grids:
+            grid.exchange_updated(block)
+        self._global_sync()
+
+    def _global_sync(self) -> None:
+        """All hosts block on the full-machine barrier: every virtual
+        clock jumps to the global maximum."""
+        t_max = max(
+            [net.clock.elapsed for net in self.cluster_nets]
+            + [self.inter_net.clock.elapsed]
+        )
+        for net in self.cluster_nets + [self.inter_net]:
+            for r in range(net.n_ranks):
+                net.clock.wait_until(r, t_max)
+
+    # -- accounting ---------------------------------------------------------------------
+
+    @property
+    def network(self):
+        """The inter-cluster network (exposes the driver's virtual-time
+        interface; intra-cluster clocks are synchronised into it)."""
+        return self.inter_net
+
+    @property
+    def total_bytes(self) -> int:
+        return self.inter_net.stats.bytes + sum(
+            net.stats.bytes for net in self.cluster_nets
+        )
+
+    @property
+    def elapsed_us(self) -> float:
+        return max(
+            [net.clock.elapsed for net in self.cluster_nets]
+            + [self.inter_net.clock.elapsed]
+        )

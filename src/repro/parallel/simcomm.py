@@ -1,0 +1,168 @@
+"""Virtual-time message-passing network.
+
+An mpi4py-flavoured interface (lower-case object send/recv plus
+collectives, following the tutorial idioms) whose cost model is the
+linear latency/bandwidth model of the paper's NICs: a message of
+``nbytes`` costs ``latency + nbytes / bandwidth`` from post to arrival,
+where latency is half the measured round trip (section 4.4: NS 83820
+200 us RTT / 60 MB/s; Intel 82540EM 67 us RTT / 105 MB/s).
+
+The paper's own synchronisation is "butterfly message exchange using
+TCP/IP", which :meth:`SimNetwork.barrier` reproduces: log2(p) rounds of
+pairwise exchanges, so a barrier costs ~log2(p) latencies — this is the
+1/N wall of figs. 16 and 18.
+
+The implementation executes rank programs step-by-step from a single
+driver (BSP style): ``send`` deposits the payload with its arrival
+time; ``recv`` advances the receiver clock to max(own, arrival).  The
+data really moves, so algorithms built on top are checked for
+correctness, not just cost.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+from ..config import NICConfig, NIC_NS83820
+from .virtualtime import VirtualClock
+
+
+@dataclass
+class MessageStats:
+    """Traffic counters for one network."""
+
+    messages: int = 0
+    bytes: int = 0
+    barriers: int = 0
+
+    def record(self, nbytes: int) -> None:
+        self.messages += 1
+        self.bytes += nbytes
+
+
+#: Bytes per particle for the paper's exchanges: position, velocity,
+#: acceleration, jerk (4 x 3 doubles), mass, time, timestep, index —
+#: ~112 bytes; we round to the conventional 128-byte particle record.
+PARTICLE_BYTES: int = 128
+
+
+class SimNetwork:
+    """A set of ranks connected by a full crossbar of NIC links.
+
+    Parameters
+    ----------
+    n_ranks:
+        Number of hosts.
+    nic:
+        Latency/bandwidth model; defaults to the paper's original
+        NS 83820 cards.
+    per_message_overhead_us:
+        Host-side protocol overhead charged to the sender per message
+        (TCP/IP stack traversal), included in the latency figure by
+        default.
+    """
+
+    def __init__(
+        self,
+        n_ranks: int,
+        nic: NICConfig = NIC_NS83820,
+        per_message_overhead_us: float = 0.0,
+    ) -> None:
+        self.clock = VirtualClock(n_ranks)
+        self.nic = nic
+        self.overhead_us = float(per_message_overhead_us)
+        self.stats = MessageStats()
+        self._mailbox: dict[tuple[int, int, int], deque] = {}
+
+    @property
+    def n_ranks(self) -> int:
+        return self.clock.n_ranks
+
+    # -- point to point -------------------------------------------------------
+
+    def message_time_us(self, nbytes: int) -> float:
+        """Post-to-arrival time of one message."""
+        return (
+            self.nic.rtt_latency_us / 2.0
+            + self.overhead_us
+            + nbytes / self.nic.bandwidth_mbs  # MB/s == bytes/us
+        )
+
+    def send(self, src: int, dst: int, payload: Any, nbytes: int, tag: int = 0) -> None:
+        """Non-blocking send: deposits the payload with its arrival time."""
+        if src == dst:
+            raise ValueError("self-sends are not modelled")
+        t_arrive = self.clock.now(src) + self.message_time_us(nbytes)
+        self._mailbox.setdefault((src, dst, tag), deque()).append((t_arrive, payload))
+        self.stats.record(nbytes)
+
+    def recv(self, dst: int, src: int, tag: int = 0) -> Any:
+        """Blocking receive: advances the receiver to the arrival time."""
+        queue = self._mailbox.get((src, dst, tag))
+        if not queue:
+            raise RuntimeError(f"no message from {src} to {dst} with tag {tag}")
+        t_arrive, payload = queue.popleft()
+        self.clock.wait_until(dst, t_arrive)
+        return payload
+
+    # -- collectives ------------------------------------------------------------
+
+    def barrier(self) -> None:
+        """Butterfly barrier: log2(p) pairwise-exchange rounds.
+
+        For non-power-of-two p, the standard dissemination variant is
+        used (rank exchanges with (rank +/- 2^k) mod p), which has the
+        same ceil(log2 p)-round cost.
+        """
+        p = self.n_ranks
+        if p == 1:
+            return
+        k = 1
+        while k < p:
+            for r in range(p):
+                self.send(r, (r + k) % p, None, 16, tag=-1 - k)
+            for r in range(p):
+                self.recv(r, (r - k) % p, tag=-1 - k)
+            k *= 2
+        self.clock.synchronize()
+        self.stats.barriers += 1
+
+    def bcast(self, root: int, payload: Any, nbytes: int) -> list[Any]:
+        """Binomial-tree broadcast; returns the payload as seen by each rank."""
+        p = self.n_ranks
+        received = [None] * p
+        received[root] = payload
+        have = [root]
+        k = 1
+        while len(have) < p:
+            senders = list(have)
+            for s in senders:
+                dst = (s + k) % p
+                if received[dst] is None:
+                    self.send(s, dst, payload, nbytes, tag=-100)
+                    received[dst] = self.recv(dst, s, tag=-100)
+                    have.append(dst)
+            k *= 2
+        return received
+
+    def allgather(self, payloads: list[Any], nbytes_each: int) -> list[list[Any]]:
+        """Ring allgather: p-1 shifts; every rank ends with all payloads."""
+        p = self.n_ranks
+        if len(payloads) != p:
+            raise ValueError("one payload per rank required")
+        if p == 1:
+            return [list(payloads)]
+        holding = [[(r, payloads[r])] for r in range(p)]
+        for _ in range(p - 1):
+            in_flight = [holding[r][-1] for r in range(p)]
+            for r in range(p):
+                self.send(r, (r + 1) % p, in_flight[r], nbytes_each, tag=-200)
+            for r in range(p):
+                holding[r].append(self.recv(r, (r - 1) % p, tag=-200))
+        result = []
+        for r in range(p):
+            by_origin = dict(holding[r])
+            result.append([by_origin[q] for q in range(p)])
+        return result

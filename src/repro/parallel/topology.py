@@ -1,0 +1,64 @@
+"""Process-grid topology for the 2-D hybrid algorithm (fig. 11).
+
+An r x r grid of processors p_11 .. p_rr; processor p_ij holds copies
+of particle subsets i and j.  Partial forces are reduced down columns
+to the diagonal, and updated particles broadcast along the diagonal
+processor's row and column.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Grid2D:
+    """Square processor grid of side ``r`` (ranks 0 .. r^2-1, row-major)."""
+
+    r: int
+
+    def __post_init__(self) -> None:
+        if self.r < 1:
+            raise ValueError("grid side must be positive")
+
+    @classmethod
+    def from_ranks(cls, n_ranks: int) -> "Grid2D":
+        r = math.isqrt(n_ranks)
+        if r * r != n_ranks:
+            raise ValueError(f"{n_ranks} ranks do not form a square grid")
+        return cls(r)
+
+    @property
+    def n_ranks(self) -> int:
+        return self.r * self.r
+
+    def rank(self, row: int, col: int) -> int:
+        if not (0 <= row < self.r and 0 <= col < self.r):
+            raise IndexError("grid coordinates out of range")
+        return row * self.r + col
+
+    def coords(self, rank: int) -> tuple[int, int]:
+        if not 0 <= rank < self.n_ranks:
+            raise IndexError("rank out of range")
+        return divmod(rank, self.r)
+
+    def row_ranks(self, row: int) -> list[int]:
+        return [self.rank(row, c) for c in range(self.r)]
+
+    def col_ranks(self, col: int) -> list[int]:
+        return [self.rank(ro, col) for ro in range(self.r)]
+
+    def diagonal(self) -> list[int]:
+        return [self.rank(i, i) for i in range(self.r)]
+
+    def subset_slices(self, n: int) -> list[np.ndarray]:
+        """Partition particle indices 0..n-1 into r contiguous subsets.
+
+        Subset i goes to every processor in row i (as the i-side copy)
+        and every processor in column i (as the j-side copy).
+        """
+        bounds = np.linspace(0, n, self.r + 1).astype(int)
+        return [np.arange(bounds[i], bounds[i + 1]) for i in range(self.r)]

@@ -1,0 +1,97 @@
+"""Host-host communication models: synchronisation and the
+multi-cluster exchange (the rest of T_comm in eq. 10).
+
+Synchronisation
+---------------
+"With both single-cluster and multi-cluster parallel codes the
+communication latency limits the performance. ... If the latency limits
+the performance, the calculation time is proportional to 1/N, since
+calculation time is determined by the number of synchronization
+[operations], which is necessary at every timestep."
+
+Every blockstep the hosts run butterfly barriers (block-time agreement,
+post-update release, and the completion handshake of the exchange) —
+``SYNC_FLIGHTS_PER_BLOCKSTEP`` rounds-trips worth of latency per
+butterfly round.  The constant 3 is calibrated to the paper's measured
+two-node crossover at N ~ 3000 (fig. 15, constant softening): with the
+NS 83820's 200 us round trip, three flights per round give the ~600 us
+per-blockstep overhead that crossover implies.  The butterfly needs
+ceil(log2 p) rounds, so 4 hosts pay ~1200 us and 16 hosts ~2400 us per
+blockstep — the 1/N walls of figs. 16 and 18.
+
+Multi-cluster exchange (the "copy" algorithm, section 4.3)
+----------------------------------------------------------
+After each blockstep every cluster must obtain all n_b updated
+particles.  Per host and per blockstep this costs:
+
+* (c-1)/c * n_b particle records *received* through the host's own NIC
+  (replication means everyone ingests everything — the receive side
+  does not parallelise, which is why the paper stresses that the
+  multi-cluster "overhead of one synchronization operation becomes
+  larger" and why fig. 17's crossover sits beyond 1e5);
+* (c-1) pipeline stages of one message latency each (ring over
+  clusters; the four hosts per cluster drive four parallel links, so
+  bandwidth, not transaction count, benefits from the factor 4);
+* re-injection of the remote particles into the cluster's board
+  memories over the host interface, shared by the 4 hosts of the
+  cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import NICConfig, NodeConfig
+from ..parallel.barrier import butterfly_rounds
+from ..parallel.simcomm import PARTICLE_BYTES
+from .grape_time import J_RECORD_BYTES
+
+#: Message flights charged per butterfly round per blockstep (block-time
+#: agreement + update release + exchange handshake).  Calibrated to the
+#: fig. 15 two-node crossover; see module docstring.
+SYNC_FLIGHTS_PER_BLOCKSTEP: float = 3.0
+
+
+@dataclass(frozen=True)
+class SyncModel:
+    """Per-blockstep synchronisation latency."""
+
+    nic: NICConfig
+    flights: float = SYNC_FLIGHTS_PER_BLOCKSTEP
+
+    def blockstep_us(self, hosts: int) -> float:
+        """Synchronisation cost of one blockstep across ``hosts``."""
+        if hosts <= 1:
+            return 0.0
+        return self.flights * butterfly_rounds(hosts) * self.nic.rtt_latency_us
+
+
+@dataclass(frozen=True)
+class ClusterExchangeModel:
+    """Per-blockstep cost of the inter-cluster copy exchange."""
+
+    nic: NICConfig
+    node: NodeConfig
+
+    def blockstep_us(
+        self, n_b: float, clusters: int, hosts_per_cluster: int = 4
+    ) -> float:
+        """Exchange cost per host for one blockstep of size n_b."""
+        if clusters <= 1:
+            return 0.0
+        remote_fraction = (clusters - 1) / clusters
+        remote_particles = remote_fraction * n_b
+
+        # every host receives all remote updates through its own NIC
+        receive_us = remote_particles * PARTICLE_BYTES / self.nic.bandwidth_mbs
+        # ring over clusters: one message latency per stage
+        latency_us = (clusters - 1) * self.nic.rtt_latency_us / 2.0
+        # re-injecting remote particles into the cluster's boards is
+        # split over the cluster's hosts' interfaces
+        hif_us = (
+            remote_particles
+            / hosts_per_cluster
+            * J_RECORD_BYTES
+            / self.node.hif_bandwidth_mbs
+        )
+        return receive_us + latency_us + hif_us

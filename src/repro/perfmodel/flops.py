@@ -1,0 +1,52 @@
+"""Speed accounting — eq. (9) of the paper.
+
+"we define the calculation speed as S = 57 N n_steps, where n_steps is
+the average number of individual steps performed per second.  The
+factor 57 means we count one pairwise force calculation as 57
+floating-point operations."
+
+The 57 is a *convention* (38 for the force, following Warren et al.
+SC'97, plus 19 for the jerk), deliberately shared with contemporary
+Gordon Bell entries so speeds are comparable.  Everything in this
+package reports speed through these helpers so the convention lives in
+one place.
+"""
+
+from __future__ import annotations
+
+from ..constants import FLOPS_PER_INTERACTION
+
+
+def speed_flops(n: int, steps_per_second: float) -> float:
+    """Eq. (9): S = 57 * N * n_steps  [flop/s].
+
+    One particle-step against an N-body system evaluates N-1 ~ N
+    pairwise interactions; the paper uses N (its application accounting
+    in section 5 uses N-1 — see :mod:`repro.perfmodel.applications`).
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    return FLOPS_PER_INTERACTION * float(n) * steps_per_second
+
+
+def speed_gflops(n: int, time_per_step_us: float) -> float:
+    """Speed in Gflops from the time for one particle-step.
+
+    ``S = 57 N / T_step``; with T in microseconds the result lands in
+    Gflops after scaling (1/us = 1e6/s; 1e6*flops / 1e9 = 1e-3).
+    """
+    if time_per_step_us <= 0:
+        raise ValueError("time per step must be positive")
+    return FLOPS_PER_INTERACTION * float(n) / time_per_step_us * 1.0e-3
+
+
+def speed_from_interactions(interactions: float, seconds: float) -> float:
+    """Flop/s for a counted number of pairwise interactions."""
+    if seconds <= 0:
+        raise ValueError("elapsed time must be positive")
+    return FLOPS_PER_INTERACTION * interactions / seconds
+
+
+def particle_steps_per_second(speed_flops_value: float, n: int) -> float:
+    """Invert eq. (9): the particle-step rate a given speed implies."""
+    return speed_flops_value / (FLOPS_PER_INTERACTION * float(n))

@@ -1,0 +1,107 @@
+"""GRAPE pipeline timing and host-interface traffic (T_GRAPE + part of
+T_comm in eq. 10).
+
+Pipeline schedule
+-----------------
+Each chip accumulates forces on 48 i-particles concurrently (6
+pipelines x 8-way VMP) while streaming its private j-memory at 6
+interactions/clock, i.e. ``vmp_ways`` (=8) clocks per stored j-particle
+per pass.  An i-block share of ``s`` particles therefore needs
+``ceil(s / 48)`` passes of ``8 * n_j_chip / f_clk`` seconds each.
+
+In every configuration of the paper's machine the j-particles stored
+per chip come out the same: a host's 4 boards split the system
+(single-node: N/4 per board over 32 chips); in a p-host cluster the
+board grid stores subset N/p per board group of 128/p chips; and each
+cluster of a multi-cluster run holds a full copy across its 512 chips
+with the p=4 layout.  All give ``n_j_chip = N / 128`` — so the pass
+time depends only on N, while parallelism enters through the share
+s = n_b / hosts.  This is why the small-N "DMA floor" of fig. 14 and
+the pass-quantisation penalty (a block smaller than 48 still pays a
+full pass) are single-node effects that parallel machines inherit
+per-host.
+
+Host interface
+--------------
+Per particle-step the host moves an i-particle record down, a force
+record up, and (after correction) a j-particle record back into the
+board memories; per blockstep it pays a fixed DMA-setup overhead —
+"For N < 1000 ... The overhead to invoke DMA operations becomes
+visible."
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import NodeConfig
+
+#: Bytes of one i-particle upload (position, velocity, id/padding).
+I_RECORD_BYTES: int = 64
+
+#: Bytes of one returned force record (acc, jerk, potential).
+F_RECORD_BYTES: int = 56
+
+#: Bytes of one j-particle memory update (mass, time, position,
+#: velocity, acc/2, jerk/6, snap/24 — the predictor coefficients).
+J_RECORD_BYTES: int = 112
+
+
+@dataclass(frozen=True)
+class GrapeTimeModel:
+    """Pipeline timing for one host's boards."""
+
+    node: NodeConfig
+
+    def n_j_per_chip(self, n: int) -> float:
+        """j-particles stored per chip (N / 128 for the paper's
+        configurations; see module docstring)."""
+        return float(n) / self.node.chips
+
+    def pass_time_us(self, n: int) -> float:
+        """Time for one pass: stream the chip memory once past the
+        pipelines (8 clocks per stored j-particle)."""
+        chip = self.node.board.chip
+        cycles = chip.vmp_ways * self.n_j_per_chip(n)
+        return cycles / chip.clock_hz * 1.0e6
+
+    def passes(self, share: float) -> int:
+        """Hardware passes for an i-share of ``share`` particles."""
+        if share <= 0:
+            return 0
+        return math.ceil(share / self.node.board.chip.iparallel)
+
+    def blockstep_us(self, n: int, share: float) -> float:
+        """Pipeline time for one blockstep on one host."""
+        return self.passes(share) * self.pass_time_us(n)
+
+    def check_capacity(self, n: int) -> None:
+        """The real machine is limited by the j-memory (16384/chip ->
+        ~2.1M particles per host's view); raise when exceeded."""
+        if self.n_j_per_chip(n) > self.node.board.chip.jmem_capacity:
+            raise ValueError(
+                f"N={n} exceeds the j-memory capacity of this configuration"
+            )
+
+
+@dataclass(frozen=True)
+class HostInterfaceModel:
+    """Host <-> GRAPE traffic over the LVDS/PCI interface."""
+
+    node: NodeConfig
+
+    @property
+    def bytes_per_step(self) -> int:
+        return I_RECORD_BYTES + F_RECORD_BYTES + J_RECORD_BYTES
+
+    def transfer_us_per_step(self) -> float:
+        """Per-particle-step transfer time (MB/s == bytes/us)."""
+        return self.bytes_per_step / self.node.hif_bandwidth_mbs
+
+    def blockstep_us(self, share: float) -> float:
+        """Interface time for one blockstep on one host: the share's
+        records plus the fixed DMA-invocation overhead."""
+        if share <= 0:
+            return 0.0
+        return self.node.dma_overhead_us + share * self.transfer_us_per_step()

@@ -1,0 +1,47 @@
+"""Host-side time per particle-step, with the cache-hit-rate model.
+
+Fig. 14: the dashed curve assumes a constant T_host; the dotted curve
+is "an empirical model which takes into account the effect of the
+cache-hit rate of the host.  For small N, the cache-hit rate is higher
+and therefore the calculation on the host is faster.  This model is
+purely empirical, but apparently gives a reasonable description."
+
+We use a logistic transition in log10(N) between the cache-resident
+cost and the cache-missing cost::
+
+    t_host(N) = base + miss / (1 + exp(-(log10 N - log10 knee)/width))
+
+Calibration: the Athlon XP 1800+ constants are pinned so that the
+single-node model reaches 1 Tflops at N = 2e5 (fig. 13); the P4 2.85
+GHz host of the fig. 19 tuning study is ~1.8x faster per step.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import HostConfig
+
+
+@dataclass(frozen=True)
+class HostTimeModel:
+    """T_host(N) in microseconds per particle-step."""
+
+    host: HostConfig
+
+    def t_step_us(self, n: int) -> float:
+        """Host work to integrate one particle for one step at system
+        size N (predictor bookkeeping, corrector, timestep update,
+        scheduler maintenance)."""
+        if n < 1:
+            raise ValueError("N must be positive")
+        h = self.host
+        z = (math.log10(n) - math.log10(h.cache_particles)) / h.cache_width_decades
+        miss_fraction = 1.0 / (1.0 + math.exp(-z))
+        return h.t_step_base_us + h.t_step_miss_us * miss_fraction
+
+    def t_step_constant_us(self) -> float:
+        """The crude constant-T_host alternative (fig. 14's dashed
+        curve): the large-N plateau value."""
+        return self.host.t_step_base_us + self.host.t_step_miss_us

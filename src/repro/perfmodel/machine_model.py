@@ -1,0 +1,155 @@
+"""The per-configuration timing model behind every figure.
+
+For a machine with ``h = p * c`` hosts (p per cluster, c clusters) a
+blockstep of n_b particles costs, per host (eq. 10 extended)::
+
+    T_bs = share * t_host(N)          # integrate its share
+         + dma + share * t_hif        # host <-> GRAPE traffic
+         + ceil(share/48) * t_pass(N) # pipeline passes
+         + t_sync(h)                  # butterfly flights   (h > 1)
+         + t_exchange(n_b, c)         # copy exchange       (c > 1)
+
+with ``share = n_b / h``, and the time per particle-step is
+``T_bs / n_b``.  Speed follows eq. (9): S = 57 N / T_step.
+
+:class:`MachineModel` evaluates this with the mean block size from
+:mod:`blockstats`; :class:`repro.perfmodel.des.BlockstepDES` evaluates
+the same per-blockstep cost over a sampled block-size distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import MachineConfig
+from .blockstats import BLOCK_MODELS, BlockStatModel
+from .comm_model import ClusterExchangeModel, SyncModel
+from .flops import speed_gflops
+from .grape_time import GrapeTimeModel, HostInterfaceModel
+from .host_model import HostTimeModel
+
+
+@dataclass(frozen=True)
+class StepTimeBreakdown:
+    """Per-particle-step cost split [microseconds]; figs. 14/16/18
+    report ``total``, figs. 13/15/17/19 report the derived speed."""
+
+    n: int
+    block_size: float
+    host_us: float
+    hif_us: float
+    grape_us: float
+    sync_us: float
+    exchange_us: float
+
+    @property
+    def total_us(self) -> float:
+        return (
+            self.host_us + self.hif_us + self.grape_us + self.sync_us + self.exchange_us
+        )
+
+    @property
+    def speed_gflops(self) -> float:
+        return speed_gflops(self.n, self.total_us)
+
+
+class MachineModel:
+    """T_step(N) and S(N) for one machine configuration.
+
+    Parameters
+    ----------
+    machine:
+        Hardware configuration (nodes per cluster, clusters, NIC, host).
+    softening:
+        Which workload scaling law to use ("constant", "n13", "4overN").
+    block_model:
+        Override the scaling law (e.g. a freshly fitted one).
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        softening: str = "constant",
+        block_model: BlockStatModel | None = None,
+        host_grape_overlap: float = 0.0,
+    ) -> None:
+        if not 0.0 <= host_grape_overlap <= 1.0:
+            raise ValueError("host_grape_overlap must be in [0, 1]")
+        self.machine = machine
+        self.blocks = block_model if block_model is not None else BLOCK_MODELS[softening]
+        self.host_model = HostTimeModel(machine.node.host)
+        self.grape = GrapeTimeModel(machine.node)
+        self.hif = HostInterfaceModel(machine.node)
+        self.sync = SyncModel(machine.nic)
+        self.exchange = ClusterExchangeModel(machine.nic, machine.node)
+        #: Fraction of the shorter of (host work, pipeline time) hidden
+        #: by double-buffering i-blocks.  The paper's code is additive
+        #: (eq. 10); production GRAPE libraries later overlapped the
+        #: two with the firsthalf/lasthalf split — see the ablation
+        #: bench.
+        self.host_grape_overlap = float(host_grape_overlap)
+
+    # -- per-blockstep cost (shared with the DES) ------------------------------
+
+    def blockstep_us(self, n: int, n_b: float) -> float:
+        """Wall time of one blockstep of n_b particles (slowest host)."""
+        hosts = self.machine.nodes
+        share = n_b / hosts
+        t_host = share * self.host_model.t_step_us(n)
+        t_grape = self.grape.blockstep_us(n, share)
+        t = t_host + t_grape - self.host_grape_overlap * min(t_host, t_grape)
+        t += self.hif.blockstep_us(share)
+        t += self.sync.blockstep_us(hosts)
+        t += self.exchange.blockstep_us(
+            n_b, self.machine.clusters, self.machine.nodes_per_cluster
+        )
+        return t
+
+    # -- figure-level quantities ---------------------------------------------
+
+    def step_time_breakdown(self, n: int) -> StepTimeBreakdown:
+        """Mean time per particle-step, split by component."""
+        if n < 2:
+            raise ValueError("need at least two particles")
+        self.grape.check_capacity(n)
+        hosts = self.machine.nodes
+        n_b = min(self.blocks.mean_block_size(n), float(n))
+        share = n_b / hosts
+        host_bs = share * self.host_model.t_step_us(n)
+        grape_bs = self.grape.blockstep_us(n, share)
+        # the overlap credit is reported against the host component
+        overlap_bs = self.host_grape_overlap * min(host_bs, grape_bs)
+        return StepTimeBreakdown(
+            n=n,
+            block_size=n_b,
+            host_us=(host_bs - overlap_bs) / n_b,
+            hif_us=self.hif.blockstep_us(share) / n_b,
+            grape_us=grape_bs / n_b,
+            sync_us=self.sync.blockstep_us(hosts) / n_b,
+            exchange_us=self.exchange.blockstep_us(
+                n_b, self.machine.clusters, self.machine.nodes_per_cluster
+            )
+            / n_b,
+        )
+
+    def time_per_step_us(self, n: int) -> float:
+        """Figs. 14/16/18: CPU time per particle-step."""
+        return self.step_time_breakdown(n).total_us
+
+    def speed_gflops(self, n: int) -> float:
+        """Figs. 13/15/17/19: sustained speed, eq. (9)."""
+        return self.step_time_breakdown(n).speed_gflops
+
+    def time_per_step_constant_host_us(self, n: int) -> float:
+        """Fig. 14's dashed curve: same model with constant T_host."""
+        b = self.step_time_breakdown(n)
+        const_host = self.host_model.t_step_constant_us() / self.machine.nodes
+        return const_host + b.hif_us + b.grape_us + b.sync_us + b.exchange_us
+
+    def efficiency(self, n: int) -> float:
+        """Fraction of the configuration's theoretical peak achieved."""
+        return self.speed_gflops(n) * 1.0e9 / self.machine.peak_flops
+
+    def sweep(self, n_values) -> list[StepTimeBreakdown]:
+        """Evaluate the model over a grid of N (one figure's curve)."""
+        return [self.step_time_breakdown(int(n)) for n in n_values]

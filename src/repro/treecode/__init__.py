@@ -1,0 +1,35 @@
+"""Barnes-Hut treecode — the paper's general-purpose comparator.
+
+Section 5 compares GRAPE-6 against treecodes on general-purpose
+machines (Gadget on a Cray T3E; Warren et al. on ASCI-Red).  To make
+that comparison reproducible rather than citational, this package
+implements a real Barnes-Hut (1986) code:
+
+* :mod:`octree` — linear octree construction over numpy particle data;
+* :mod:`multipole` — monopole and quadrupole moments per cell;
+* :mod:`traversal` — vectorised force evaluation with the opening-angle
+  criterion;
+* :mod:`integrator` — shared-timestep leapfrog (the mode of Warren et
+  al.'s Gordon Bell runs);
+* :mod:`performance` — measured particle-steps/sec plus the paper's
+  published-numbers scaling argument.
+
+The intro explains why GRAPE does not use a tree: "it is not easy to
+use fast and approximate algorithms ... the orbital timescales of
+particles can be wildly different"; the treecode here demonstrates both
+sides — O(N log N) per step, but shared steps and approximate forces.
+"""
+
+from .octree import Octree, OctreeNode
+from .multipole import compute_moments
+from .traversal import tree_force, TreeForceResult
+from .integrator import TreeLeapfrog
+
+__all__ = [
+    "Octree",
+    "OctreeNode",
+    "compute_moments",
+    "tree_force",
+    "TreeForceResult",
+    "TreeLeapfrog",
+]

@@ -1,0 +1,101 @@
+"""Heggie (standard N-body) units and conversions.
+
+The benchmark runs of the paper integrate a Plummer model "for 1 time
+unit (we use the 'Heggie' unit)".  In Heggie & Mathieu (1986) units the
+system satisfies::
+
+    G = 1,   M_total = 1,   E_total = -1/4
+
+which gives a virial radius ``R_v = 1`` and a crossing time
+``t_cr = 2 sqrt(2)``.  These helpers convert between Heggie units and
+physical units for presentation purposes (e.g. the Kuiper-belt example)
+and provide the standard derived scales.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Total energy of a system in virial equilibrium in Heggie units.
+HEGGIE_ENERGY: float = -0.25
+
+#: Virial radius in Heggie units (R_v = -G M^2 / (4 E) = 1).
+HEGGIE_VIRIAL_RADIUS: float = 1.0
+
+#: Crossing time in Heggie units: t_cr = 2 R_v / v_rms with
+#: v_rms^2 = -4E/M = 1, hence t_cr = 2 sqrt(2).
+HEGGIE_CROSSING_TIME: float = 2.0 * math.sqrt(2.0)
+
+
+def plummer_scale_radius() -> float:
+    """Plummer scale length ``a`` for a Heggie-unit Plummer sphere.
+
+    A Plummer model of total mass M and scale radius a has potential
+    energy ``U = -3 pi G M^2 / (32 a)``.  Virial equilibrium gives
+    ``E = U/2``, and imposing E = -1/4 with G = M = 1 yields
+    ``a = 3 pi / 16``.
+    """
+    return 3.0 * math.pi / 16.0
+
+
+@dataclass(frozen=True)
+class UnitSystem:
+    """Mapping from Heggie units to physical units.
+
+    Parameters
+    ----------
+    mass_kg:
+        Physical mass corresponding to one N-body mass unit.
+    length_m:
+        Physical length corresponding to one N-body length unit.
+
+    The time unit follows from Kepler's third law with the physical
+    gravitational constant.
+    """
+
+    mass_kg: float
+    length_m: float
+
+    #: Physical gravitational constant [m^3 kg^-1 s^-2].
+    G_SI: float = 6.674e-11
+
+    @property
+    def time_s(self) -> float:
+        """Physical seconds per N-body time unit."""
+        return math.sqrt(self.length_m**3 / (self.G_SI * self.mass_kg))
+
+    @property
+    def velocity_ms(self) -> float:
+        """Physical m/s per N-body velocity unit."""
+        return self.length_m / self.time_s
+
+    def to_physical_time(self, t_nbody: float) -> float:
+        """Convert an N-body time to seconds."""
+        return t_nbody * self.time_s
+
+    def to_nbody_time(self, t_seconds: float) -> float:
+        """Convert seconds to N-body time units."""
+        return t_seconds / self.time_s
+
+
+#: Astronomically flavoured constants for the example applications.
+MSUN_KG: float = 1.989e30
+AU_M: float = 1.496e11
+PC_M: float = 3.086e16
+YEAR_S: float = 3.156e7
+
+
+def kuiper_units(central_mass_msun: float = 1.0, disc_radius_au: float = 40.0) -> UnitSystem:
+    """Unit system for the Kuiper-belt planetesimal application (section 5).
+
+    One mass unit is the central star, one length unit the characteristic
+    disc radius, so one N-body time unit is the orbital period at the
+    disc radius divided by 2 pi.
+    """
+    return UnitSystem(mass_kg=central_mass_msun * MSUN_KG, length_m=disc_radius_au * AU_M)
+
+
+def star_cluster_units(total_mass_msun: float = 5.0e5, virial_radius_pc: float = 1.0) -> UnitSystem:
+    """Unit system for a globular-cluster-like system (binary BH application)."""
+    return UnitSystem(mass_kg=total_mass_msun * MSUN_KG, length_m=virial_radius_pc * PC_M)

@@ -1,0 +1,65 @@
+"""Every example script must run end to end (at reduced scale).
+
+The examples are deliverables, not decoration; these smoke tests
+execute them in-process (runpy) with small arguments so a refactor that
+breaks an example fails the suite, not the user.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *argv: str, capsys=None) -> str:
+    old_argv = sys.argv
+    sys.argv = [name, *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out if capsys else ""
+
+
+class TestExamplesRun:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", "64", capsys=capsys)
+        assert "energy error" in out
+        assert "mean block size" in out
+
+    def test_hardware_emulation(self, capsys):
+        out = run_example("hardware_emulation.py", "32", capsys=capsys)
+        assert "bit-identical across board counts: True" in out
+
+    def test_tuning_advisor(self, capsys):
+        out = run_example("tuning_advisor.py", "50000", capsys=capsys)
+        assert "tuning ladder" in out
+        assert "Tflops" in out
+
+    def test_figure_sweep(self, capsys):
+        out = run_example("figure_sweep.py", capsys=capsys)
+        for marker in ("Figure 13", "Figure 17", "Figure 19", "treecode comparison"):
+            assert marker in out
+
+    def test_kuiper_belt(self, capsys):
+        out = run_example("kuiper_belt.py", "60", capsys=capsys)
+        assert "33.4 Tflops" in out
+
+    def test_binary_black_hole(self, capsys):
+        out = run_example("binary_black_hole.py", "48", capsys=capsys)
+        assert "35.3" in out
+
+    def test_parallel_scaling(self, capsys):
+        out = run_example("parallel_scaling.py", capsys=capsys)
+        assert "crossover" in out
+
+    @pytest.mark.parametrize(
+        "name,args",
+        [("star_cluster.py", ("64",)), ("planetesimal_accretion.py", ("40",))],
+    )
+    def test_remaining_examples(self, name, args, capsys):
+        out = run_example(name, *args, capsys=capsys)
+        assert out.strip()

@@ -1,0 +1,156 @@
+"""Integration tests: the Hermite integrators on real dynamics.
+
+These exercise the full predict-evaluate-correct-reschedule loop on
+physically meaningful problems with analytic or conserved references.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BlockTimestepIntegrator,
+    EnergyDiagnostics,
+    HermiteIntegrator,
+)
+from repro.core.timestep import commensurable
+from repro.models import cold_sphere, plummer_model
+from tests.conftest import make_two_body
+
+
+class TestTwoBody:
+    """A circular binary has closed-form dynamics: the strongest
+    correctness reference available."""
+
+    def test_circular_orbit_radius_preserved(self):
+        system = make_two_body(separation=1.0)
+        integ = BlockTimestepIntegrator(system, eps2=0.0, eta=0.01)
+        integ.run(6.0)  # about one orbital period (T = 2 pi r^1.5 / sqrt(M))
+        sep = np.linalg.norm(system.pos[0] - system.pos[1])
+        assert sep == pytest.approx(1.0, rel=1e-4)
+
+    def test_orbital_period(self):
+        # T = 2 pi sqrt(a^3 / (G M)) with a = r/2 per body around COM...
+        # for the relative orbit: a_rel = 1, M = 1 -> T = 2 pi
+        system = make_two_body(separation=1.0)
+        integ = BlockTimestepIntegrator(system, eps2=0.0, eta=0.005)
+        t_end = 2.0 * np.pi
+        integ.run(t_end)
+        synced = integ.synchronize(t_end)
+        # after one full period the configuration recurs
+        np.testing.assert_allclose(synced.pos, make_two_body().pos, atol=5e-3)
+
+    def test_angular_momentum_conservation(self):
+        system = make_two_body()
+        l0 = system.angular_momentum()
+        integ = BlockTimestepIntegrator(system, eps2=0.0)
+        integ.run(10.0)
+        l1 = system.angular_momentum()
+        np.testing.assert_allclose(l1, l0, atol=1e-6)
+
+    def test_shared_integrator_matches_block_on_two_body(self):
+        a = make_two_body()
+        b = make_two_body()
+        ia = HermiteIntegrator(a, eps2=0.0, eta=0.01)
+        ib = BlockTimestepIntegrator(b, eps2=0.0, eta=0.01)
+        ia.run(1.0)
+        ib.run(1.0)
+        sync = ib.synchronize(ia.t)
+        np.testing.assert_allclose(sync.pos, a.pos, atol=1e-5)
+
+
+class TestPlummerEnergy:
+    @pytest.mark.parametrize("n,tol", [(64, 5e-6), (256, 1e-6)])
+    def test_block_energy_conservation_one_heggie_unit(self, n, tol, eps2):
+        system = plummer_model(n, seed=61)
+        diag = EnergyDiagnostics(eps2=eps2)
+        diag.measure(system, 0.0)
+        integ = BlockTimestepIntegrator(system, eps2=eps2)
+        integ.run(1.0)
+        diag.measure(integ.synchronize(1.0), 1.0)
+        assert diag.relative_error() < tol
+
+    def test_shared_energy_conservation(self, eps2):
+        system = plummer_model(64, seed=62)
+        diag = EnergyDiagnostics(eps2=eps2)
+        diag.measure(system, 0.0)
+        integ = HermiteIntegrator(system, eps2=eps2)
+        integ.run(0.5)
+        diag.measure(system, integ.t)
+        assert diag.relative_error() < 1e-5
+
+    def test_momentum_conserved(self, eps2):
+        system = plummer_model(128, seed=63)
+        integ = BlockTimestepIntegrator(system, eps2=eps2)
+        integ.run(0.5)
+        # block steps evaluate forces at per-block times, so momentum
+        # is conserved to integration order, not to round-off
+        np.testing.assert_allclose(system.momentum(), 0.0, atol=1e-6)
+
+    def test_eta_controls_accuracy(self, eps2):
+        errors = {}
+        for eta in (0.04, 0.01):
+            system = plummer_model(64, seed=64)
+            diag = EnergyDiagnostics(eps2=eps2)
+            diag.measure(system, 0.0)
+            integ = BlockTimestepIntegrator(system, eps2=eps2, eta=eta)
+            integ.run(0.5)
+            diag.measure(integ.synchronize(0.5), 0.5)
+            errors[eta] = diag.relative_error()
+        assert errors[0.01] < errors[0.04]
+
+
+class TestBlockStructure:
+    def test_invariants_maintained_during_run(self, eps2):
+        system = plummer_model(64, seed=65)
+        integ = BlockTimestepIntegrator(system, eps2=eps2)
+        for _ in range(200):
+            t_block, n_b = integ.step()
+            assert n_b >= 1
+            # all particle times <= system time; dt powers of two;
+            # times commensurable with steps
+            assert np.all(system.t <= t_block + 1e-15)
+            logs = np.log2(system.dt)
+            np.testing.assert_array_equal(logs, np.round(logs))
+            for t, dt in zip(system.t, system.dt):
+                assert commensurable(float(t), float(dt))
+
+    def test_block_times_never_decrease(self, eps2):
+        system = plummer_model(64, seed=66)
+        integ = BlockTimestepIntegrator(system, eps2=eps2)
+        last = 0.0
+        for _ in range(100):
+            t_block, _ = integ.step()
+            assert t_block >= last
+            last = t_block
+
+    def test_mean_block_size_roughly_proportional_to_n(self, eps2):
+        # the paper's key workload statement, measured over an octave
+        sizes = {}
+        for n in (128, 512):
+            system = plummer_model(n, seed=67)
+            integ = BlockTimestepIntegrator(system, eps2=eps2)
+            integ.run(0.25)
+            sizes[n] = integ.stats.mean_block_size
+        ratio = sizes[512] / sizes[128]
+        assert 2.0 < ratio < 6.0  # ~linear (x4), well away from constant
+
+    def test_max_blocksteps_cap(self, eps2):
+        system = plummer_model(64, seed=68)
+        integ = BlockTimestepIntegrator(system, eps2=eps2)
+        stats = integ.run(10.0, max_blocksteps=5)
+        assert stats.blocksteps == 5
+
+
+class TestColdCollapse:
+    def test_survives_violent_collapse(self):
+        # dt spans many octaves near the bounce: the scheduler's stress test
+        system = cold_sphere(64, seed=69)
+        eps2 = 0.05**2
+        diag = EnergyDiagnostics(eps2=eps2)
+        diag.measure(system, 0.0)
+        integ = BlockTimestepIntegrator(system, eps2=eps2)
+        integ.run(2.0)  # through the bounce at t ~ 1.1 t_ff
+        diag.measure(integ.synchronize(2.0), 2.0)
+        assert diag.relative_error() < 1e-3
+        # the timestep distribution widened substantially
+        assert system.dt.max() / system.dt.min() >= 4.0

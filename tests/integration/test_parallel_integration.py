@@ -1,0 +1,137 @@
+"""Integration: the three parallel algorithms over full runs.
+
+The functional checks behind section 3.2's algorithm discussion: all
+three decompositions compute the physics of the serial code, while
+their communication profiles differ exactly the way the paper says.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import NIC_INTEL82540EM, NIC_NS83820
+from repro.core import BlockTimestepIntegrator
+from repro.models import plummer_model
+from repro.parallel import (
+    CopyAlgorithm,
+    Grid2DAlgorithm,
+    ParallelBlockIntegrator,
+    RingAlgorithm,
+    SimNetwork,
+)
+
+N = 96
+T_END = 0.125
+
+
+@pytest.fixture
+def serial_result(eps2):
+    system = plummer_model(N, seed=81)
+    integ = BlockTimestepIntegrator(system, eps2)
+    integ.run(T_END)
+    return system, integ.stats
+
+
+class TestCopyAlgorithm:
+    def test_bitwise_identical_to_serial(self, eps2, serial_result):
+        serial_sys, serial_stats = serial_result
+        system = plummer_model(N, seed=81)
+        net = SimNetwork(4, NIC_NS83820)
+        integ = ParallelBlockIntegrator(system, eps2, CopyAlgorithm(net, eps2))
+        integ.run(T_END)
+        np.testing.assert_array_equal(system.pos, serial_sys.pos)
+        np.testing.assert_array_equal(system.vel, serial_sys.vel)
+        assert integ.stats.blocksteps == serial_stats.blocksteps
+
+    def test_communication_independent_of_rank_count(self, eps2):
+        """'the amount of communication is independent of the number of
+        processors' — total bytes moved per node stays ~constant."""
+        per_node_bytes = {}
+        for p in (2, 4):
+            system = plummer_model(N, seed=81)
+            net = SimNetwork(p, NIC_NS83820)
+            integ = ParallelBlockIntegrator(system, eps2, CopyAlgorithm(net, eps2))
+            integ.run(T_END)
+            per_node_bytes[p] = net.stats.bytes / p
+        ratio = per_node_bytes[4] / per_node_bytes[2]
+        assert 0.5 < ratio < 2.0
+
+    def test_barrier_per_blockstep(self, eps2):
+        system = plummer_model(N, seed=81)
+        net = SimNetwork(4, NIC_NS83820)
+        integ = ParallelBlockIntegrator(system, eps2, CopyAlgorithm(net, eps2))
+        integ.run(T_END)
+        assert net.stats.barriers == integ.stats.blocksteps
+
+
+class TestRingAlgorithm:
+    def test_tracks_serial_to_rounding(self, eps2, serial_result):
+        serial_sys, _ = serial_result
+        system = plummer_model(N, seed=81)
+        net = SimNetwork(4, NIC_NS83820)
+        integ = ParallelBlockIntegrator(system, eps2, RingAlgorithm(net, eps2))
+        integ.run(T_END)
+        np.testing.assert_allclose(system.pos, serial_sys.pos, atol=1e-9)
+
+    def test_energy_conserved(self, eps2):
+        from repro.core import EnergyDiagnostics
+
+        system = plummer_model(N, seed=82)
+        diag = EnergyDiagnostics(eps2=eps2)
+        diag.measure(system, 0.0)
+        net = SimNetwork(3, NIC_NS83820)
+        integ = ParallelBlockIntegrator(system, eps2, RingAlgorithm(net, eps2))
+        integ.run(T_END)
+        diag.measure(integ.synchronize(T_END), T_END)
+        assert diag.relative_error() < 1e-5
+
+
+class TestGrid2DAlgorithm:
+    @pytest.mark.parametrize("ranks", [1, 4, 9])
+    def test_tracks_serial_for_any_square_grid(self, ranks, eps2, serial_result):
+        serial_sys, _ = serial_result
+        system = plummer_model(N, seed=81)
+        net = SimNetwork(ranks, NIC_NS83820)
+        integ = ParallelBlockIntegrator(system, eps2, Grid2DAlgorithm(net, eps2))
+        integ.run(T_END)
+        np.testing.assert_allclose(system.pos, serial_sys.pos, atol=1e-9)
+
+    def test_non_square_rejected(self, eps2):
+        net = SimNetwork(6, NIC_NS83820)
+        with pytest.raises(ValueError):
+            Grid2DAlgorithm(net, eps2)
+
+    def test_grid_communication_scales_better_than_copy(self, eps2):
+        """Makino (2002): the 2-D algorithm moves O(N/r) per node where
+        the copy algorithm moves O(N) — with 4 ranks the grid's traffic
+        per blockstep must be lower."""
+        traffic = {}
+        for name, factory in (("copy", CopyAlgorithm), ("grid2d", Grid2DAlgorithm)):
+            system = plummer_model(N, seed=83)
+            net = SimNetwork(4, NIC_NS83820)
+            integ = ParallelBlockIntegrator(system, eps2, factory(net, eps2))
+            integ.run(T_END)
+            traffic[name] = net.stats.bytes / integ.stats.blocksteps
+        assert traffic["grid2d"] < traffic["copy"]
+
+
+class TestVirtualTiming:
+    def test_faster_nic_gives_faster_virtual_run(self, eps2):
+        elapsed = {}
+        for nic in (NIC_NS83820, NIC_INTEL82540EM):
+            system = plummer_model(N, seed=84)
+            net = SimNetwork(4, nic)
+            integ = ParallelBlockIntegrator(system, eps2, CopyAlgorithm(net, eps2))
+            integ.run(T_END)
+            elapsed[nic.name] = integ.virtual_time_us
+        # fig. 19's direction: the Intel NIC cuts the virtual wall clock
+        assert elapsed["intel82540em"] < elapsed["ns83820"]
+
+    def test_latency_dominates_for_small_blocks(self, eps2):
+        # most blocks at N=96 are far smaller than the latency-bandwidth
+        # product: virtual time ~ blocksteps x barrier cost
+        system = plummer_model(N, seed=85)
+        net = SimNetwork(4, NIC_NS83820)
+        integ = ParallelBlockIntegrator(system, eps2, CopyAlgorithm(net, eps2))
+        integ.run(T_END)
+        barrier_floor = integ.stats.blocksteps * 2 * 100.0  # 2 rounds x 100 us
+        assert integ.virtual_time_us > barrier_floor

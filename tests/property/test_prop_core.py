@@ -1,0 +1,199 @@
+"""Property-based tests of the integrator core: timestep quantisation,
+predictor algebra, scheduler invariants, force symmetries."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.predictor import predict_hermite, predict_taylor
+from repro.core.scheduler import BlockScheduler
+from repro.core.timestep import (
+    _commensurable,
+    floor_power_of_two,
+    quantize_block_dt,
+)
+from repro.forces.kernels import pairwise_acc_jerk_pot
+
+positive_dt = st.floats(min_value=1e-9, max_value=0.5, allow_nan=False)
+
+
+class TestTimestepProperties:
+    @given(positive_dt)
+    def test_floor_pow2_bracketing(self, dt):
+        f = floor_power_of_two(dt)
+        assert f <= dt < 2 * f
+
+    @given(positive_dt)
+    def test_floor_pow2_is_exact_power(self, dt):
+        f = float(floor_power_of_two(dt))
+        m, _ = np.frexp(f)
+        assert m == 0.5
+
+    @given(
+        hnp.arrays(np.float64, st.integers(1, 30), elements=positive_dt),
+        st.integers(0, 2**12 - 1),
+    )
+    def test_quantized_steps_keep_time_commensurable(self, ideal, ticks):
+        t_now = ticks * 2.0**-12
+        dt = quantize_block_dt(ideal, t_now=t_now)
+        assert np.all(_commensurable(np.full_like(dt, t_now), dt))
+
+    @given(
+        hnp.arrays(np.float64, st.integers(1, 30), elements=positive_dt),
+        st.integers(0, 2**10 - 1),
+        st.integers(2, 14),
+    )
+    def test_growth_limited_to_one_doubling(self, ideal, ticks, k_old):
+        dt_old = np.full(ideal.shape, 2.0**-k_old)
+        t_now = ticks * 2.0**-10
+        dt = quantize_block_dt(ideal, t_now=t_now, dt_old=dt_old)
+        assert np.all(dt <= 2.0 * dt_old)
+
+    @given(
+        hnp.arrays(np.float64, st.integers(1, 30), elements=positive_dt),
+    )
+    def test_never_exceeds_ideal(self, ideal):
+        dt = quantize_block_dt(ideal, t_now=0.0, dt_min=2.0**-40)
+        assert np.all(dt <= np.maximum(ideal, 2.0**-40))
+
+
+class TestPredictorProperties:
+    @settings(max_examples=50)
+    @given(st.floats(min_value=0.0, max_value=0.25, allow_nan=False))
+    def test_hermite_is_taylor_truncation(self, t):
+        rng = np.random.default_rng(2)
+        x0, v0, a0, j0 = (rng.normal(0, 1, (6, 3)) for _ in range(4))
+        t0 = np.zeros(6)
+        xh, vh = predict_hermite(t, t0, x0, v0, a0, j0)
+        xt, vt = predict_taylor(
+            t, t0, x0, v0, a0, j0, np.zeros((6, 3)), np.zeros((6, 3))
+        )
+        np.testing.assert_allclose(xh, xt, rtol=1e-12, atol=1e-14)
+        np.testing.assert_allclose(vh, vt, rtol=1e-12, atol=1e-14)
+
+    @settings(max_examples=50)
+    @given(
+        st.floats(min_value=0.0, max_value=0.1, allow_nan=False),
+        st.floats(min_value=0.0, max_value=0.1, allow_nan=False),
+    )
+    def test_prediction_composes(self, dt1, dt2):
+        """Predicting in one step equals predicting the velocity path in
+        two (the position polynomial is degree 3: composition holds
+        exactly only when intermediate derivatives are updated, so we
+        check the velocity polynomial, degree 2 in the derivatives we
+        keep)."""
+        rng = np.random.default_rng(3)
+        x0, v0, a0, j0 = (rng.normal(0, 1, (4, 3)) for _ in range(4))
+        t0 = np.zeros(4)
+        # one shot
+        _, v_direct = predict_hermite(dt1 + dt2, t0, x0, v0, a0, j0)
+        # two stages with derivative updates (a, j constant-jerk model)
+        x1, v1 = predict_hermite(dt1, t0, x0, v0, a0, j0)
+        a1 = a0 + j0 * dt1
+        _, v_two = predict_hermite(dt1 + dt2, np.full(4, dt1), x1, v1, a1, j0)
+        np.testing.assert_allclose(v_two, v_direct, rtol=1e-10, atol=1e-12)
+
+
+class TestSchedulerProperties:
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(1, 40),
+            elements=st.sampled_from([2.0**-k for k in range(1, 10)]),
+        )
+    )
+    def test_block_extraction_total_coverage(self, dts):
+        """Stepping the schedule forever visits every particle at the
+        rate its dt implies: over the coarsest period each particle is
+        selected exactly 1/dt * period times."""
+        sched = BlockScheduler(np.zeros(dts.shape), dts)
+        period = float(dts.max())
+        visits = np.zeros(dts.shape, dtype=int)
+        guard = 0
+        while True:
+            t, idx = sched.next_block()
+            if t > period + 1e-12:
+                break
+            visits[idx] += 1
+            sched.update(idx, t, dts[idx])
+            guard += 1
+            assert guard < 100_000
+        np.testing.assert_array_equal(visits, np.rint(period / dts).astype(int))
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(2, 30),
+            elements=st.sampled_from([2.0**-k for k in range(1, 8)]),
+        )
+    )
+    def test_block_times_monotone(self, dts):
+        sched = BlockScheduler(np.zeros(dts.shape), dts)
+        last = -np.inf
+        for _ in range(50):
+            t, idx = sched.next_block()
+            assert t >= last
+            last = t
+            sched.update(idx, t, dts[idx])
+
+
+class TestForceProperties:
+    @settings(max_examples=30)
+    @given(st.integers(2, 20), st.floats(min_value=1e-4, max_value=0.1))
+    def test_newton_third_law(self, n, eps2):
+        rng = np.random.default_rng(n)
+        x = rng.normal(0, 1, (n, 3))
+        v = rng.normal(0, 1, (n, 3))
+        m = rng.uniform(0.1, 2.0, n)
+        acc, jerk, _ = pairwise_acc_jerk_pot(x, v, x, v, m, eps2, exclude_self=True)
+        np.testing.assert_allclose(m @ acc, 0.0, atol=1e-10)
+        np.testing.assert_allclose(m @ jerk, 0.0, atol=1e-10)
+
+    @settings(max_examples=30)
+    @given(st.integers(2, 15))
+    def test_translation_invariance(self, n):
+        rng = np.random.default_rng(n + 100)
+        x = rng.normal(0, 1, (n, 3))
+        v = rng.normal(0, 1, (n, 3))
+        m = rng.uniform(0.1, 2.0, n)
+        shift = np.array([3.0, -2.0, 7.0])
+        a1, j1, p1 = pairwise_acc_jerk_pot(x, v, x, v, m, 0.01, exclude_self=True)
+        a2, j2, p2 = pairwise_acc_jerk_pot(
+            x + shift, v, x + shift, v, m, 0.01, exclude_self=True
+        )
+        np.testing.assert_allclose(a1, a2, rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(j1, j2, rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(p1, p2, rtol=1e-9)
+
+    @settings(max_examples=30)
+    @given(st.integers(2, 15))
+    def test_boost_changes_jerk_not_acc(self, n):
+        # adding a constant velocity to every particle leaves relative
+        # velocities (hence acc AND jerk) unchanged
+        rng = np.random.default_rng(n + 200)
+        x = rng.normal(0, 1, (n, 3))
+        v = rng.normal(0, 1, (n, 3))
+        m = rng.uniform(0.1, 2.0, n)
+        boost = np.array([0.5, 0.5, -1.0])
+        a1, j1, _ = pairwise_acc_jerk_pot(x, v, x, v, m, 0.01, exclude_self=True)
+        a2, j2, _ = pairwise_acc_jerk_pot(
+            x, v + boost, x, v + boost, m, 0.01, exclude_self=True
+        )
+        np.testing.assert_allclose(a1, a2, rtol=1e-12, atol=1e-14)
+        np.testing.assert_allclose(j1, j2, rtol=1e-9, atol=1e-12)
+
+    @settings(max_examples=30)
+    @given(st.floats(min_value=0.5, max_value=2.0))
+    def test_mass_linearity(self, scale):
+        rng = np.random.default_rng(42)
+        x = rng.normal(0, 1, (8, 3))
+        v = rng.normal(0, 1, (8, 3))
+        m = rng.uniform(0.1, 1.0, 8)
+        a1, j1, p1 = pairwise_acc_jerk_pot(x, v, x, v, m, 0.01, exclude_self=True)
+        a2, j2, p2 = pairwise_acc_jerk_pot(
+            x, v, x, v, m * scale, 0.01, exclude_self=True
+        )
+        np.testing.assert_allclose(a2, a1 * scale, rtol=1e-12)
+        np.testing.assert_allclose(j2, j1 * scale, rtol=1e-12)
+        np.testing.assert_allclose(p2, p1 * scale, rtol=1e-12)

@@ -1,0 +1,125 @@
+"""Property-based tests of the dynamics layer: integrators, corrector
+consistency, Kepler solutions."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BlockTimestepIntegrator
+from repro.core.kepler import elements_from_state, solve_kepler, state_from_elements
+from repro.core.particles import ParticleSystem
+from repro.forces.kernels import kinetic_energy, potential_energy
+
+
+def random_bound_system(rng: np.random.Generator, n: int) -> ParticleSystem:
+    """A random, definitely-bound few-body system."""
+    pos = rng.normal(0.0, 1.0, (n, 3))
+    mass = rng.uniform(0.5, 1.5, n)
+    mass /= mass.sum()
+    # cold-ish velocities guarantee E < 0
+    vel = rng.normal(0.0, 0.15, (n, 3))
+    system = ParticleSystem(mass, pos, vel)
+    system.to_center_of_mass_frame()
+    return system
+
+
+class TestIntegratorProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(3, 12), st.integers(0, 10_000))
+    def test_energy_conserved_for_random_systems(self, n, seed):
+        """Any bound few-body system, integrated a short while with
+        softening, conserves energy to integrator accuracy."""
+        rng = np.random.default_rng(seed)
+        system = random_bound_system(rng, n)
+        eps2 = 0.01
+        e0 = kinetic_energy(system.vel, system.mass) + potential_energy(
+            system.pos, system.mass, eps2
+        )
+        integ = BlockTimestepIntegrator(system, eps2=eps2)
+        integ.run(0.25)
+        synced = integ.synchronize(0.25)
+        e1 = kinetic_energy(synced.vel, synced.mass) + potential_energy(
+            synced.pos, synced.mass, eps2
+        )
+        assert abs((e1 - e0) / e0) < 1e-4
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(3, 10), st.integers(0, 10_000))
+    def test_momentum_near_conserved(self, n, seed):
+        rng = np.random.default_rng(seed)
+        system = random_bound_system(rng, n)
+        integ = BlockTimestepIntegrator(system, eps2=0.01)
+        integ.run(0.25)
+        assert np.linalg.norm(system.momentum()) < 1e-6
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_time_reversal_symmetry_short_horizon(self, seed):
+        """Integrate forward, flip velocities, integrate the same span:
+        the system returns near its start (the Hermite scheme is not
+        exactly time-symmetric, but over a short horizon the retrace
+        error is tiny)."""
+        rng = np.random.default_rng(seed)
+        system = random_bound_system(rng, 4)
+        x0 = system.pos.copy()
+        eps2 = 0.04
+        integ = BlockTimestepIntegrator(system, eps2=eps2, eta=0.005)
+        integ.run(0.125)
+        synced = integ.synchronize(0.125)
+        back = ParticleSystem(synced.mass, synced.pos, -synced.vel)
+        integ2 = BlockTimestepIntegrator(back, eps2=eps2, eta=0.005)
+        integ2.run(0.125)
+        final = integ2.synchronize(0.125)
+        assert np.max(np.abs(final.pos - x0)) < 5e-4
+
+
+class TestKeplerProperties:
+    @settings(max_examples=100)
+    @given(
+        st.floats(min_value=-3.1, max_value=3.1),
+        st.floats(min_value=0.0, max_value=0.95),
+    )
+    def test_kepler_equation_satisfied(self, m, e):
+        ecc = float(solve_kepler(np.array([m]), np.array([e]))[0])
+        assert abs(ecc - e * np.sin(ecc) - m) < 1e-10
+
+    @settings(max_examples=50)
+    @given(
+        st.floats(min_value=0.3, max_value=5.0),
+        st.floats(min_value=0.0, max_value=0.9),
+        st.floats(min_value=0.0, max_value=3.0),
+        st.floats(min_value=0.0, max_value=6.28),
+    )
+    def test_state_element_roundtrip(self, a, e, inc, manom):
+        pos, vel = state_from_elements(
+            np.array([a]),
+            np.array([e]),
+            np.array([inc]),
+            np.array([0.3]),
+            np.array([1.1]),
+            np.array([manom]),
+            gm=1.0,
+        )
+        el = elements_from_state(pos[0], vel[0], gm=1.0)
+        assert abs(el.semi_major_axis - a) < 1e-8 * max(1.0, a)
+        assert abs(el.eccentricity - e) < 1e-6
+
+    @settings(max_examples=50)
+    @given(
+        st.floats(min_value=0.3, max_value=3.0),
+        st.floats(min_value=0.0, max_value=0.9),
+    )
+    def test_vis_viva(self, a, e):
+        # v^2 = gm (2/r - 1/a) at any anomaly
+        pos, vel = state_from_elements(
+            np.array([a]),
+            np.array([e]),
+            np.array([0.2]),
+            np.array([0.0]),
+            np.array([0.0]),
+            np.array([1.0]),
+            gm=1.0,
+        )
+        r = float(np.linalg.norm(pos[0]))
+        v2 = float(vel[0] @ vel[0])
+        assert abs(v2 - (2.0 / r - 1.0 / a)) < 1e-9

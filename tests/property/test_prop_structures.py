@@ -1,0 +1,133 @@
+"""Property-based tests: octree invariants, Plummer sampling, emulator
+partition independence, level-census arithmetic."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import Grape6Emulator
+from repro.models import plummer_model
+from repro.perfmodel.des import LevelPopulation
+from repro.treecode import Octree
+
+
+class TestOctreeProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 200), st.integers(1, 16), st.integers(0, 1000))
+    def test_partition_of_unity(self, n, leaf_size, seed):
+        rng = np.random.default_rng(seed)
+        pos = rng.normal(0, 1, (n, 3))
+        mass = rng.uniform(0.1, 1.0, n)
+        tree = Octree(pos, mass, leaf_size=leaf_size)
+        collected = np.concatenate(
+            [tree.leaf_particles(l) for l in tree.leaves()]
+        )
+        np.testing.assert_array_equal(np.sort(collected), np.arange(n))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 200), st.integers(0, 1000))
+    def test_mass_and_com_conservation(self, n, seed):
+        rng = np.random.default_rng(seed)
+        pos = rng.normal(0, 1, (n, 3))
+        mass = rng.uniform(0.1, 1.0, n)
+        tree = Octree(pos, mass)
+        np.testing.assert_allclose(tree.mass[0], mass.sum(), rtol=1e-12)
+        np.testing.assert_allclose(
+            tree.com[0], mass @ pos / mass.sum(), atol=1e-10
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(8, 100), st.integers(0, 100))
+    def test_quadrupole_traceless_everywhere(self, n, seed):
+        rng = np.random.default_rng(seed)
+        tree = Octree(rng.normal(0, 1, (n, 3)), rng.uniform(0.1, 1.0, n))
+        traces = np.trace(tree.quad, axis1=1, axis2=2)
+        np.testing.assert_allclose(traces, 0.0, atol=1e-9)
+
+
+class TestPlummerProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(16, 512), st.integers(0, 10_000))
+    def test_mass_normalisation(self, n, seed):
+        s = plummer_model(n, seed=seed)
+        assert abs(s.total_mass - 1.0) < 1e-12
+        assert np.linalg.norm(s.center_of_mass()) < 1e-10
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(64, 512), st.integers(0, 10_000))
+    def test_all_bound_speeds(self, n, seed):
+        # rejection sampling caps q = v/v_esc at 1: nothing escapes
+        s = plummer_model(n, seed=seed, to_com_frame=False)
+        from repro.units import plummer_scale_radius
+
+        a = plummer_scale_radius()
+        r2 = np.einsum("ij,ij->i", s.pos, s.pos)
+        v_esc2 = 2.0 / np.sqrt(r2 + a * a)
+        v2 = np.einsum("ij,ij->i", s.vel, s.vel)
+        assert np.all(v2 <= v_esc2 * (1 + 1e-12))
+
+
+class TestEmulatorPartitionProperty:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(4, 40), st.integers(0, 500), st.integers(2, 5))
+    def test_forces_identical_for_any_board_count(self, n, seed, boards):
+        """The central hardware property, hypothesis-driven: any
+        particle set, any machine size, bit-identical forces."""
+        rng = np.random.default_rng(seed)
+        x = rng.normal(0, 1, (n, 3))
+        v = rng.normal(0, 0.5, (n, 3))
+        m = rng.uniform(0.1, 1.0, n) / n
+        eps2 = 1.0 / 4096.0
+
+        ref = Grape6Emulator(eps2, boards=1)
+        ref.set_j_particles(x, v, m)
+        base = ref.forces_on(x, v, np.arange(n))
+
+        emu = Grape6Emulator(eps2, boards=boards)
+        emu.set_j_particles(x, v, m)
+        res = emu.forces_on(x, v, np.arange(n))
+
+        np.testing.assert_array_equal(res.acc, base.acc)
+        np.testing.assert_array_equal(res.jerk, base.jerk)
+        np.testing.assert_array_equal(res.pot, base.pot)
+
+
+class TestLevelCensusProperties:
+    @settings(max_examples=30)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 12), st.floats(min_value=1.0, max_value=100.0)),
+            min_size=1,
+            max_size=8,
+            unique_by=lambda t: t[0],
+        )
+    )
+    def test_census_psteps_identity(self, pairs):
+        """The census must satisfy sum_k rate_k n_b(k) = sum_j c_j 2^j —
+        every particle at level j steps 2^j times per unit time."""
+        pairs.sort()
+        levels = np.array([p[0] for p in pairs])
+        counts = np.array([p[1] for p in pairs])
+        pop = LevelPopulation(levels=levels, counts=counts)
+        census = pop.block_census()
+        psteps = sum(rate * nb for _, rate, nb in census)
+        expected = float(np.sum(counts * 2.0**levels))
+        np.testing.assert_allclose(psteps, expected, rtol=1e-12)
+
+    @settings(max_examples=30)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 12), st.floats(min_value=1.0, max_value=100.0)),
+            min_size=1,
+            max_size=8,
+            unique_by=lambda t: t[0],
+        )
+    )
+    def test_block_sizes_monotone_in_depth(self, pairs):
+        pairs.sort()
+        pop = LevelPopulation(
+            levels=np.array([p[0] for p in pairs]),
+            counts=np.array([p[1] for p in pairs]),
+        )
+        sizes = [nb for _, _, nb in pop.block_census()]
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))

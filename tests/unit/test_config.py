@@ -1,0 +1,87 @@
+"""Hardware configuration objects."""
+
+import pytest
+
+from repro import config as cfg
+
+
+class TestChipConfig:
+    def test_defaults_match_paper(self):
+        chip = cfg.ChipConfig()
+        assert chip.iparallel == 48
+        assert chip.interactions_per_cycle == 6
+        assert chip.peak_flops == pytest.approx(57 * 6 * 90e6)
+
+
+class TestBoardConfig:
+    def test_32_chips(self):
+        board = cfg.BoardConfig()
+        assert board.chips == 32
+
+    def test_jmem_capacity_sums_chip_memories(self):
+        board = cfg.BoardConfig()
+        assert board.jmem_capacity == 32 * 16384
+
+
+class TestNodeConfig:
+    def test_four_boards_128_chips(self):
+        node = cfg.NodeConfig()
+        assert node.chips == 128
+
+    def test_node_peak_near_4_tflops(self):
+        node = cfg.NodeConfig()
+        assert node.peak_flops == pytest.approx(3.94e12, rel=0.01)
+
+
+class TestMachineFactories:
+    def test_single_node(self):
+        m = cfg.single_node_machine()
+        assert m.nodes == 1
+        assert m.chips == 128
+
+    def test_cluster_sizes(self):
+        assert cfg.cluster_machine(2).nodes == 2
+        assert cfg.cluster_machine(4).nodes == 4
+        with pytest.raises(ValueError):
+            cfg.cluster_machine(5)
+
+    def test_full_machine_16_hosts_2048_chips(self):
+        m = cfg.full_machine(4)
+        assert m.nodes == 16
+        assert m.chips == 2048
+        assert m.peak_flops == pytest.approx(63.04e12, rel=0.01)
+
+    def test_full_machine_rejects_odd_cluster_counts(self):
+        with pytest.raises(ValueError):
+            cfg.full_machine(3)
+
+    def test_with_nic_and_host_are_nonmutating(self):
+        m = cfg.full_machine(4)
+        tuned = m.with_nic(cfg.NIC_INTEL82540EM).with_host(cfg.HOST_P4)
+        assert m.nic is cfg.NIC_NS83820
+        assert tuned.nic is cfg.NIC_INTEL82540EM
+        assert tuned.node.host.name == "p4-2.85"
+        assert m.node.host.name == "athlon-xp-1800"
+
+
+class TestNICs:
+    def test_paper_latency_numbers(self):
+        # section 4.4 measurements
+        assert cfg.NIC_NS83820.rtt_latency_us == 200.0
+        assert cfg.NIC_NS83820.bandwidth_mbs == 60.0
+        assert cfg.NIC_INTEL82540EM.rtt_latency_us == 67.0
+        assert cfg.NIC_INTEL82540EM.bandwidth_mbs == 105.0
+
+    def test_tigon2_better_throughput_not_latency(self):
+        # "Tigon 2 shows somewhat better throughput (85MB/s), but not
+        # much improvement in the latency"
+        assert cfg.NIC_TIGON2.bandwidth_mbs == 85.0
+        assert cfg.NIC_TIGON2.rtt_latency_us > 150.0
+
+    def test_myrinet_what_if(self):
+        # "Myrinet would provide the latency 5-10 times shorter"
+        ratio = cfg.NIC_NS83820.rtt_latency_us / cfg.NIC_MYRINET.rtt_latency_us
+        assert 5.0 <= ratio <= 10.0
+
+    def test_registry(self):
+        assert set(cfg.NICS) == {"ns83820", "tigon2", "intel82540em", "myrinet"}

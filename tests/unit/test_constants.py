@@ -1,0 +1,46 @@
+"""The hardware constants must reproduce the paper's headline numbers."""
+
+from repro import constants as C
+
+
+class TestFlopAccounting:
+    def test_force_plus_jerk_is_57(self):
+        assert C.FLOPS_PER_FORCE == 38
+        assert C.FLOPS_PER_JERK == 19
+        assert C.FLOPS_PER_INTERACTION == 57
+
+
+class TestChipNumbers:
+    def test_clock_is_90_mhz(self):
+        assert C.GRAPE6_CLOCK_HZ == 90.0e6
+
+    def test_six_pipelines_eight_way_vmp(self):
+        assert C.GRAPE6_PIPELINES_PER_CHIP == 6
+        assert C.GRAPE6_VMP_WAYS == 8
+        assert C.GRAPE6_IPARTICLES_PER_CHIP == 48
+
+    def test_chip_peak_is_30_point_8_gflops(self):
+        # paper: "offering the speed of 30.8 Gflops"
+        assert abs(C.GRAPE6_CHIP_PEAK_FLOPS - 30.78e9) < 1e7
+
+
+class TestMachineNumbers:
+    def test_chips_per_board(self):
+        assert C.GRAPE6_CHIPS_PER_BOARD == 32
+
+    def test_boards_per_cluster_form_4x4_grid(self):
+        assert C.GRAPE6_BOARDS_PER_CLUSTER == 16
+
+    def test_total_chips_2048(self):
+        # abstract: "GRAPE-6 consists of 2048 custom pipeline chips"
+        assert C.GRAPE6_TOTAL_CHIPS == 2048
+
+    def test_system_peak_63_tflops(self):
+        # section 1: "the entire GRAPE-6 system with 2048 chips offers
+        # the speed of 63.04 Tflops"
+        assert abs(C.GRAPE6_SYSTEM_PEAK_FLOPS / 1e12 - 63.04) < 0.1
+
+    def test_jmem_supports_2m_particles(self):
+        # section 5 ran 2M particles on 128 chips per host view
+        per_chip = 2_000_000 / 128
+        assert per_chip <= C.GRAPE6_JMEM_PER_CHIP

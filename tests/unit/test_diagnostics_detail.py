@@ -1,0 +1,80 @@
+"""EnergyDiagnostics internals and conserved-quantity helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import BlockTimestepIntegrator, EnergyDiagnostics
+from repro.core.diagnostics import EnergySample, angular_momentum_error
+from repro.models import plummer_model
+from tests.conftest import make_two_body
+
+
+class TestEnergySample:
+    def test_total_and_virial(self):
+        sample = EnergySample(t=0.0, kinetic=0.125, potential=-0.375)
+        assert sample.total == -0.25
+        assert sample.virial_ratio == pytest.approx(2 * 0.125 / 0.375)
+
+    def test_virial_with_zero_potential(self):
+        sample = EnergySample(t=0.0, kinetic=1.0, potential=0.0)
+        assert np.isinf(sample.virial_ratio)
+
+
+class TestEnergyDiagnostics:
+    def test_measure_appends_samples(self, eps2, small_plummer):
+        diag = EnergyDiagnostics(eps2=eps2)
+        diag.measure(small_plummer, 0.0)
+        diag.measure(small_plummer, 0.5)
+        assert len(diag.samples) == 2
+        assert diag.initial is diag.samples[0]
+
+    def test_relative_error_of_specific_sample(self, eps2, small_plummer):
+        diag = EnergyDiagnostics(eps2=eps2)
+        s0 = diag.measure(small_plummer, 0.0)
+        fake = EnergySample(t=1.0, kinetic=s0.kinetic * 1.01, potential=s0.potential)
+        expected = abs(0.01 * s0.kinetic / s0.total)
+        assert diag.relative_error(fake) == pytest.approx(expected)
+
+    def test_max_relative_error_tracks_worst_sample(self, eps2):
+        system = plummer_model(48, seed=91)
+        diag = EnergyDiagnostics(eps2=eps2)
+        diag.measure(system, 0.0)
+        integ = BlockTimestepIntegrator(system, eps2=eps2)
+        for t in (0.125, 0.25, 0.375):
+            integ.run(t)
+            diag.measure(integ.synchronize(t), t)
+        worst = max(diag.relative_error(s) for s in diag.samples)
+        assert diag.max_relative_error() == worst
+
+    def test_softening_consistency_matters(self, small_plummer):
+        # measuring with the wrong eps2 reports spurious "drift"
+        eps = 1.0 / 64.0
+        right = EnergyDiagnostics(eps2=eps * eps)
+        wrong = EnergyDiagnostics(eps2=(4 * eps) ** 2)
+        e_right = right.measure(small_plummer, 0.0).total
+        e_wrong = wrong.measure(small_plummer, 0.0).total
+        assert e_right != e_wrong
+
+
+class TestAngularMomentumError:
+    def test_zero_for_unchanged_system(self, two_body):
+        l0 = two_body.angular_momentum()
+        assert angular_momentum_error(two_body, l0) == 0.0
+
+    def test_relative_normalisation(self):
+        s = make_two_body()
+        l0 = s.angular_momentum()
+        s.vel *= 1.01  # 1% speed change -> 1% |L| change
+        assert angular_momentum_error(s, l0) == pytest.approx(0.01, rel=1e-6)
+
+    def test_absolute_when_initial_is_zero(self):
+        s = make_two_body()
+        s.vel[...] = 0.0
+        drift = angular_momentum_error(make_two_body(), np.zeros(3))
+        assert drift > 0  # falls back to |L|, not a division by zero
+
+    def test_conserved_through_integration(self, eps2):
+        system = plummer_model(48, seed=92)
+        l0 = system.angular_momentum()
+        BlockTimestepIntegrator(system, eps2=eps2).run(0.25)
+        assert angular_momentum_error(system, l0) < 1e-5

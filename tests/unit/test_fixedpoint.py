@@ -1,0 +1,99 @@
+"""Fixed-point formats and exact integer summation."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.fixedpoint import (
+    FixedPointFormat,
+    FixedPointOverflow,
+    exact_int_sum,
+)
+
+
+class TestFixedPointFormat:
+    def test_resolution_and_range(self):
+        fmt = FixedPointFormat(64, 40)
+        assert fmt.resolution == 2.0**-40
+        assert fmt.scale == 2.0**40
+        assert fmt.max_value == pytest.approx(2.0**23, rel=1e-6)
+
+    def test_quantize_roundtrip_on_grid(self):
+        fmt = FixedPointFormat(32, 16)
+        x = np.array([1.0, -2.5, 0.0, 100.0 + 2.0**-16])
+        np.testing.assert_array_equal(fmt.roundtrip(x), x)
+
+    def test_quantize_rounds_to_nearest(self):
+        fmt = FixedPointFormat(32, 4)  # resolution 1/16
+        assert fmt.roundtrip(np.array([0.26]))[0] == pytest.approx(0.25)
+        assert fmt.roundtrip(np.array([0.30]))[0] == pytest.approx(5 / 16)
+
+    def test_overflow_raises(self):
+        fmt = FixedPointFormat(16, 8)  # range ~ +/- 128
+        with pytest.raises(FixedPointOverflow):
+            fmt.quantize(np.array([200.0]))
+
+    def test_saturation_clamps(self):
+        fmt = FixedPointFormat(16, 8)
+        q = fmt.quantize(np.array([1.0e6, -1.0e6]), saturate=True)
+        assert q[0] == fmt.max_int
+        assert q[1] == fmt.min_int
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(0, 0)
+        with pytest.raises(ValueError):
+            FixedPointFormat(65, 10)
+        with pytest.raises(ValueError):
+            FixedPointFormat(32, 32)
+
+    def test_difference_exactness(self):
+        # key property for the pipeline: quantized differences are exact
+        fmt = FixedPointFormat(64, 40)
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-20, 20, 1000)
+        q = fmt.quantize(x)
+        dq = q[None, :50] - q[:50, None]
+        dx = dq.astype(np.float64) * fmt.resolution
+        # every difference is an exact multiple of the resolution
+        np.testing.assert_array_equal(
+            dx / fmt.resolution, np.rint(dx / fmt.resolution)
+        )
+
+
+class TestExactIntSum:
+    def test_matches_python_sum(self):
+        rng = np.random.default_rng(2)
+        v = rng.integers(-(2**62), 2**62, 1000, dtype=np.int64)
+        assert exact_int_sum(v) == sum(int(x) for x in v)
+
+    def test_no_overflow_where_numpy_would(self):
+        v = np.full(100, 2**62, dtype=np.int64)
+        exact = exact_int_sum(v)
+        assert exact == 100 * 2**62
+        assert exact > 2**63  # would have wrapped in int64
+
+    def test_axis_handling(self):
+        v = np.arange(12, dtype=np.int64).reshape(3, 4)
+        np.testing.assert_array_equal(
+            exact_int_sum(v, axis=0).astype(np.int64), v.sum(axis=0)
+        )
+        np.testing.assert_array_equal(
+            exact_int_sum(v, axis=1).astype(np.int64), v.sum(axis=1)
+        )
+
+    def test_negative_values(self):
+        v = np.array([-(2**62), -(2**62), 2**60], dtype=np.int64)
+        assert exact_int_sum(v) == -(2**62) * 2 + 2**60
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(TypeError):
+            exact_int_sum(np.array([1.0, 2.0]))
+
+    def test_partition_invariance(self):
+        # the property the whole emulator rests on
+        rng = np.random.default_rng(3)
+        v = rng.integers(-(2**55), 2**55, 512, dtype=np.int64)
+        total = exact_int_sum(v)
+        for parts in (2, 3, 7):
+            partial = sum(exact_int_sum(v[p::parts]) for p in range(parts))
+            assert partial == total

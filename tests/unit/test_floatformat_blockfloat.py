@@ -1,0 +1,130 @@
+"""Reduced-precision float rounding and block-floating-point sums."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.blockfloat import (
+    FRAC_BITS,
+    BlockFloatAccumulator,
+    BlockFloatOverflow,
+    block_float_sum,
+    suggest_exponent,
+)
+from repro.hardware.floatformat import FloatFormat
+
+
+class TestFloatFormat:
+    def test_single_precision_equivalence(self):
+        fmt = FloatFormat(24)
+        rng = np.random.default_rng(1)
+        x = rng.normal(0, 1, 1000)
+        np.testing.assert_array_equal(
+            fmt.round(x), x.astype(np.float32).astype(np.float64)
+        )
+
+    def test_full_precision_passthrough(self):
+        fmt = FloatFormat(53)
+        x = np.array([np.pi, -np.e, 1e-300])
+        np.testing.assert_array_equal(fmt.round(x), x)
+
+    def test_idempotent(self):
+        fmt = FloatFormat(16)
+        x = np.random.default_rng(2).normal(0, 1, 100)
+        once = fmt.round(x)
+        np.testing.assert_array_equal(fmt.round(once), once)
+
+    def test_relative_error_bound(self):
+        fmt = FloatFormat(20)
+        x = np.random.default_rng(3).lognormal(0, 10, 1000)
+        rel = np.abs(fmt.round(x) - x) / x
+        assert rel.max() <= 2.0**-20
+
+    def test_preserves_zero_and_sign(self):
+        fmt = FloatFormat(10)
+        out = fmt.round(np.array([0.0, -0.0, 1.5, -1.5]))
+        assert out[0] == 0.0
+        assert out[2] == -out[3]
+
+    def test_nonfinite_passthrough(self):
+        fmt = FloatFormat(24)
+        x = np.array([np.inf, -np.inf, np.nan])
+        out = fmt.round(x)
+        assert out[0] == np.inf
+        assert out[1] == -np.inf
+        assert np.isnan(out[2])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FloatFormat(0)
+        with pytest.raises(ValueError):
+            FloatFormat(54)
+
+    def test_eps(self):
+        assert FloatFormat(24).eps == 2.0**-24
+
+
+class TestSuggestExponent:
+    def test_bounds_magnitude(self):
+        est = np.array([0.75, 3.0, 1e-10, 1e10])
+        e = suggest_exponent(est)
+        assert np.all(2.0**e > est)
+        assert np.all(2.0 ** (e - 1) <= est)
+
+    def test_zero_estimate_safe(self):
+        e = suggest_exponent(np.array([0.0]))
+        assert np.isfinite(e).all()
+
+
+class TestBlockFloatSum:
+    def test_exactness_of_sum_on_grid(self):
+        # values already on the accumulator grid sum exactly
+        e = np.array([0], dtype=np.int64)
+        q = 2.0 ** (0 - FRAC_BITS)
+        contribs = np.array([3 * q, 5 * q, -2 * q])
+        total = block_float_sum(contribs, e[0] * np.ones((), dtype=np.int64))
+        assert total == pytest.approx(6 * q, rel=0, abs=0)
+
+    def test_partition_independence(self):
+        rng = np.random.default_rng(4)
+        contribs = rng.normal(0, 1e-3, (500, 3))
+        e = suggest_exponent(np.abs(contribs).sum(axis=0).max() * np.ones(3))
+        total = block_float_sum(contribs, e)
+        # any split, summed exactly, gives the identical float result
+        for parts in (2, 5, 9):
+            acc = BlockFloatAccumulator(e)
+            partials = []
+            for p in range(parts):
+                chunk = contribs[p::parts]
+                exp_full = np.broadcast_to(e[None, :], chunk.shape)
+                qn = BlockFloatAccumulator(exp_full).quantize(chunk)
+                partials.append(acc.reduce(qn, axis=0))
+            combined = acc.combine(partials)
+            np.testing.assert_array_equal(acc.to_float(combined), total)
+
+    def test_quantisation_error_bound(self):
+        rng = np.random.default_rng(5)
+        contribs = rng.normal(0, 1.0, 1000)
+        ref = contribs.sum()
+        e = suggest_exponent(np.array([np.abs(ref) + np.abs(contribs).max()]))
+        total = block_float_sum(contribs, e[0:1])
+        # per-contribution rounding is at most half a quantum
+        quantum = 2.0 ** (int(e[0]) - FRAC_BITS)
+        assert abs(float(total[0]) - ref) <= 0.5 * quantum * len(contribs)
+
+    def test_overflow_on_underdeclared_exponent(self):
+        contribs = np.full(1000, 1.0)
+        with pytest.raises(BlockFloatOverflow):
+            # declare exponent for ~1.0, sum is 1000: headroom (256x)
+            # exceeded
+            block_float_sum(contribs, np.array(1, dtype=np.int64))
+
+    def test_single_contribution_saturation(self):
+        acc = BlockFloatAccumulator(np.array(0, dtype=np.int64))
+        with pytest.raises(BlockFloatOverflow):
+            acc.quantize(np.array(1.0e30))
+
+    def test_headroom_allows_moderate_excess(self):
+        # totals up to ~256 * 2^e fit (63 - 55 = 8 bits of headroom)
+        contribs = np.full(100, 1.0)
+        total = block_float_sum(contribs, np.array(1, dtype=np.int64))
+        assert float(total) == pytest.approx(100.0)

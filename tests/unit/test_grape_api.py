@@ -1,0 +1,127 @@
+"""The g6_* host-library facade."""
+
+import numpy as np
+import pytest
+
+from repro.forces import DirectSummation
+from repro.forces.grape_api import Grape6Library
+from repro.models import plummer_model
+
+
+@pytest.fixture
+def loaded_lib(eps2):
+    s = plummer_model(48, seed=51)
+    lib = Grape6Library(64, eps2, backend="host")
+    lib.g6_set_j_particles(
+        np.arange(48), tj=np.zeros(48), mass=s.mass, x=s.pos, v=s.vel
+    )
+    return lib, s
+
+
+class TestSessionManagement:
+    def test_npipes(self, eps2):
+        assert Grape6Library(8, eps2).g6_npipes() == 48
+
+    def test_closed_session_rejects_calls(self, eps2):
+        lib = Grape6Library(8, eps2)
+        lib.g6_close()
+        with pytest.raises(RuntimeError):
+            lib.g6_set_ti(0.0)
+
+    def test_backend_validation(self, eps2):
+        with pytest.raises(ValueError):
+            Grape6Library(8, eps2, backend="fpga")
+        with pytest.raises(ValueError):
+            Grape6Library(0, eps2)
+
+
+class TestJParticleUpload:
+    def test_single_upload(self, eps2):
+        lib = Grape6Library(8, eps2, backend="host")
+        lib.g6_set_j_particle(3, tj=0.0, dtj=0.01, mass=1.0,
+                              x=(1.0, 0, 0), v=(0, 1.0, 0))
+        assert lib._present[3]
+        assert not lib._present[0]
+
+    def test_address_bounds(self, eps2):
+        lib = Grape6Library(8, eps2)
+        with pytest.raises(IndexError):
+            lib.g6_set_j_particle(8, 0.0, 0.01, 1.0, (0, 0, 0), (0, 0, 0))
+        with pytest.raises(IndexError):
+            lib.g6_set_j_particles(np.array([9]), 0.0, 1.0,
+                                   np.zeros((1, 3)), np.zeros((1, 3)))
+
+    def test_force_requires_particles(self, eps2):
+        lib = Grape6Library(8, eps2, backend="host")
+        with pytest.raises(RuntimeError):
+            lib.g6calc(np.zeros((1, 3)), np.zeros((1, 3)))
+
+
+class TestForceCalls:
+    def test_host_backend_matches_direct(self, loaded_lib, eps2):
+        lib, s = loaded_lib
+        lib.g6_set_ti(0.0)
+        res = lib.g6calc(s.pos, s.vel, np.arange(48))
+        ref = DirectSummation(eps2)
+        ref.set_j_particles(s.pos, s.vel, s.mass)
+        exact = ref.forces_on(s.pos, s.vel, np.arange(48))
+        np.testing.assert_allclose(res.acc, exact.acc, rtol=1e-12)
+        np.testing.assert_allclose(res.pot, exact.pot, rtol=1e-12)
+
+    def test_prediction_applied(self, loaded_lib, eps2):
+        lib, s = loaded_lib
+        # reload with velocities and ask for a later time: positions
+        # must be extrapolated before the force evaluation
+        lib.g6_set_ti(0.25)
+        res_later = lib.g6calc(s.pos, s.vel, np.arange(48))
+        lib.g6_set_ti(0.0)
+        res_now = lib.g6calc(s.pos, s.vel, np.arange(48))
+        assert not np.allclose(res_later.acc, res_now.acc)
+
+    def test_two_phase_call(self, loaded_lib):
+        lib, s = loaded_lib
+        lib.g6_set_ti(0.0)
+        lib.g6calc_firsthalf(s.pos[:4], s.vel[:4], np.arange(4))
+        res = lib.g6calc_lasthalf()
+        assert res.acc.shape == (4, 3)
+        with pytest.raises(RuntimeError):
+            lib.g6calc_lasthalf()  # consumed
+
+    def test_emulator_backend_accuracy(self, eps2):
+        s = plummer_model(48, seed=52)
+        lib = Grape6Library(64, eps2, backend="emulator")
+        lib.g6_set_j_particles(np.arange(48), tj=np.zeros(48), mass=s.mass,
+                               x=s.pos, v=s.vel)
+        lib.g6_set_ti(0.0)
+        res = lib.g6calc(s.pos, s.vel, np.arange(48))
+        ref = DirectSummation(eps2)
+        ref.set_j_particles(s.pos, s.vel, s.mass)
+        exact = ref.forces_on(s.pos, s.vel, np.arange(48))
+        rel = np.linalg.norm(res.acc - exact.acc, axis=1) / np.linalg.norm(
+            exact.acc, axis=1
+        )
+        assert rel.max() < 1e-6
+
+    def test_emulator_hardware_prediction_close_to_host(self, eps2):
+        # upload derivatives; on-chip predictor vs host predictor
+        s = plummer_model(32, seed=53)
+        ref = DirectSummation(eps2)
+        ref.set_j_particles(s.pos, s.vel, s.mass)
+        d0 = ref.forces_on(s.pos, s.vel, np.arange(32))
+
+        kw = dict(tj=np.zeros(32), mass=s.mass, x=s.pos, v=s.vel,
+                  a=d0.acc, jerk=d0.jerk)
+        emu = Grape6Library(64, eps2, backend="emulator")
+        emu.g6_set_j_particles(np.arange(32), **kw)
+        host = Grape6Library(64, eps2, backend="host")
+        host.g6_set_j_particles(np.arange(32), **kw)
+        for lib in (emu, host):
+            lib.g6_set_ti(1.0 / 128.0)
+        probes = s.pos[:8] * 1.1
+        pv = s.vel[:8]
+        r_emu = emu.g6calc(probes, pv)
+        r_host = host.g6calc(probes, pv)
+        rel = np.linalg.norm(r_emu.acc - r_host.acc, axis=1) / np.linalg.norm(
+            r_host.acc, axis=1
+        )
+        assert rel.max() < 1e-5

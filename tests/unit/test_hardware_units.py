@@ -1,0 +1,201 @@
+"""Chip / module / board / system emulator units and GRAPE-4 contrast."""
+
+import numpy as np
+import pytest
+
+from repro.config import BoardConfig, ChipConfig
+from repro.forces import DirectSummation
+from repro.hardware import (
+    Grape6Emulator,
+    GrapeChip,
+    JParticleMemory,
+    ProcessorBoard,
+    ProcessorModule,
+    grape4_sum,
+)
+from repro.hardware.chip import BlockExponents
+from repro.hardware.blockfloat import suggest_exponent
+from repro.hardware.floatformat import FloatFormat
+from repro.hardware.pipeline import PipelineFormats, pairwise_contributions
+from repro.hardware.predictor_unit import predict_memory
+
+
+def tiny_setup(n=16, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(0, 1, (n, 3))
+    v = rng.normal(0, 0.5, (n, 3))
+    m = np.full(n, 1.0 / n)
+    return x, v, m
+
+
+class TestJParticleMemory:
+    def test_load_applies_formats(self):
+        fmt = PipelineFormats.default()
+        mem = JParticleMemory(100, fmt.pos, fmt.word)
+        x, v, m = tiny_setup()
+        mem.load(np.arange(16), x, v, m)
+        assert mem.n == 16
+        # positions on the fixed grid
+        np.testing.assert_array_equal(mem.pos_q, fmt.pos.quantize(x))
+        # velocities rounded to the word format
+        np.testing.assert_array_equal(mem.vel, fmt.word.round(v))
+
+    def test_capacity_enforced(self):
+        fmt = PipelineFormats.default()
+        mem = JParticleMemory(8, fmt.pos, fmt.word)
+        x, v, m = tiny_setup(16)
+        with pytest.raises(ValueError):
+            mem.load(np.arange(16), x, v, m)
+
+
+class TestPredictorUnit:
+    def test_static_particle_is_fixed_point(self):
+        fmt = PipelineFormats.default()
+        mem = JParticleMemory(10, fmt.pos, fmt.word)
+        x, v, m = tiny_setup(4)
+        mem.load(np.arange(4), x, 0 * v, m)  # zero velocity, derivatives
+        pos_q, vel = predict_memory(mem, t=0.5)
+        np.testing.assert_array_equal(pos_q, mem.pos_q)
+        np.testing.assert_array_equal(vel, mem.vel)
+
+    def test_linear_motion_predicted(self):
+        fmt = PipelineFormats.default()
+        mem = JParticleMemory(10, fmt.pos, fmt.word)
+        x = np.zeros((1, 3))
+        v = np.array([[1.0, 0.0, 0.0]])
+        mem.load(np.arange(1), x, v, np.array([1.0]), t0=np.zeros(1))
+        pos_q, _ = predict_memory(mem, t=0.25)
+        predicted = fmt.pos.dequantize(pos_q)
+        assert predicted[0, 0] == pytest.approx(0.25, abs=1e-9)
+
+
+class TestPipeline:
+    def test_matches_float64_to_pair_precision(self, eps2):
+        fmt = PipelineFormats.default()
+        x, v, m = tiny_setup(32, seed=3)
+        xq = fmt.pos.quantize(x)
+        vw = fmt.word.round(v)
+        mw = fmt.word.round(m)
+        acc_c, jerk_c, pot_c = pairwise_contributions(xq, vw, xq, vw, mw, eps2, fmt)
+        # reference per-pair values
+        dx = x[None] - x[:, None]
+        r2 = np.einsum("ijk,ijk->ij", dx, dx) + eps2
+        ref = (m[None, :] / r2**1.5)[:, :, None] * dx
+        np.fill_diagonal(r2, np.inf)
+        mask = ~np.eye(32, dtype=bool)
+        rel = np.abs(acc_c - ref)[mask] / (np.abs(ref)[mask] + 1e-300)
+        # within a few pair-format ulps plus storage rounding
+        assert np.median(rel) < 1e-5
+        del jerk_c, pot_c
+
+    def test_self_pairs_zeroed(self, eps2):
+        fmt = PipelineFormats.default()
+        x, v, m = tiny_setup(8)
+        xq = fmt.pos.quantize(x)
+        acc_c, jerk_c, pot_c = pairwise_contributions(
+            xq, v, xq, v, m, eps2, fmt
+        )
+        np.testing.assert_array_equal(np.diagonal(pot_c), 0.0)
+        assert np.all(np.abs(np.diagonal(acc_c, axis1=0, axis2=1)) == 0.0)
+        del jerk_c
+
+    def test_self_mask_by_index(self, eps2):
+        fmt = PipelineFormats.default()
+        x, v, m = tiny_setup(6)
+        xq = fmt.pos.quantize(x)
+        mask = np.zeros((6, 6), dtype=bool)
+        mask[0, 3] = True  # pretend 0 and 3 are the same particle
+        _, _, pot = pairwise_contributions(xq, v, xq, v, m, eps2, fmt, self_mask=mask)
+        assert pot[0, 3] == 0.0
+        assert pot[1, 3] != 0.0
+
+
+class TestChipAndHierarchy:
+    def test_chip_cycle_accounting(self, eps2):
+        chip = GrapeChip(ChipConfig())
+        chip.set_eps2(eps2)
+        x, v, m = tiny_setup(100, seed=5)
+        chip.load_j_particles(np.arange(100), x, v, m)
+        e = BlockExponents(
+            acc=suggest_exponent(np.ones(60)) + 8,
+            jerk=suggest_exponent(np.ones(60)) + 8,
+            pot=suggest_exponent(np.ones(60)) + 8,
+        )
+        fmt = chip.formats
+        chip.partial_forces(fmt.pos.quantize(x[:60]), fmt.word.round(v[:60]), e)
+        # 60 i-particles -> 2 passes of 48; each pass = 8 * 100 cycles
+        assert chip.cycles == 2 * 8 * 100
+
+    def test_module_board_chip_counts(self):
+        module = ProcessorModule()
+        assert len(module.chips) == 4
+        board = ProcessorBoard(BoardConfig())
+        assert len(board.all_chips) == 32
+
+    def test_emulator_stripes_j_particles(self, eps2):
+        emu = Grape6Emulator(eps2, boards=2)
+        x, v, m = tiny_setup(100, seed=6)
+        emu.set_j_particles(x, v, m)
+        assert emu.jmem_used == 100
+        assert emu.n_chips == 64
+        per_chip = [c.memory.n for c in emu._all_chips]
+        assert max(per_chip) - min(per_chip) <= 1  # balanced striping
+
+    def test_emulator_interaction_accounting(self, eps2):
+        emu = Grape6Emulator(eps2, boards=1)
+        x, v, m = tiny_setup(20, seed=7)
+        emu.set_j_particles(x, v, m)
+        res = emu.forces_on(x, v, np.arange(20))
+        assert res.interactions == 20 * 20 - 20
+        assert emu.stats.force_evaluations == 1
+
+    def test_exponent_cache_reused(self, eps2):
+        emu = Grape6Emulator(eps2, boards=1)
+        x, v, m = tiny_setup(16, seed=8)
+        emu.set_j_particles(x, v, m)
+        emu.forces_on(x, v, np.arange(16))
+        assert len(emu._exp_cache) == 16
+        # second call must produce identical results via the cache
+        res2 = emu.forces_on(x, v, np.arange(16))
+        res3 = emu.forces_on(x, v, np.arange(16))
+        np.testing.assert_array_equal(res2.acc, res3.acc)
+
+    def test_forces_require_loaded_memory(self, eps2):
+        emu = Grape6Emulator(eps2)
+        with pytest.raises(RuntimeError):
+            emu.forces_on(np.zeros((1, 3)), np.zeros((1, 3)))
+
+    def test_accuracy_against_float64(self, eps2, small_plummer):
+        s = small_plummer
+        emu = Grape6Emulator(eps2, boards=1)
+        emu.set_j_particles(s.pos, s.vel, s.mass)
+        hw = emu.forces_on(s.pos, s.vel, np.arange(s.n))
+        ref = DirectSummation(eps2)
+        ref.set_j_particles(s.pos, s.vel, s.mass)
+        sw = ref.forces_on(s.pos, s.vel, np.arange(s.n))
+        rel = np.linalg.norm(hw.acc - sw.acc, axis=1) / np.linalg.norm(sw.acc, axis=1)
+        assert rel.max() < 1e-6  # single-precision class
+
+
+class TestGrape4Contrast:
+    def test_order_dependence(self):
+        rng = np.random.default_rng(9)
+        contribs = rng.normal(0, 1, (200, 3)) * np.logspace(0, -6, 200)[:, None]
+        results = [grape4_sum(contribs, b) for b in (1, 2, 3, 4)]
+        # at least one pair of board counts must disagree (float order)
+        assert any(
+            not np.array_equal(results[i], results[j])
+            for i in range(4)
+            for j in range(i + 1, 4)
+        )
+
+    def test_close_to_true_sum(self):
+        rng = np.random.default_rng(10)
+        contribs = rng.normal(0, 1, (100, 3))
+        ref = contribs.sum(axis=0)
+        out = grape4_sum(contribs, 2, accumulator=FloatFormat(24))
+        np.testing.assert_allclose(out, ref, rtol=1e-4, atol=1e-4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grape4_sum(np.ones((3, 3)), 0)

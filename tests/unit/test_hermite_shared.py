@@ -1,0 +1,79 @@
+"""The shared-timestep Hermite integrator (the strawman of section 5's
+treecode comparison, and the reference for the block scheme)."""
+
+import numpy as np
+import pytest
+
+from repro.core import HermiteIntegrator
+from repro.core.hermite import SharedStepStatistics
+from repro.forces.kernels import kinetic_energy, potential_energy
+from repro.models import plummer_model
+from tests.conftest import make_two_body
+
+
+class TestSharedHermite:
+    def test_single_step_advances_all(self, eps2):
+        s = plummer_model(32, seed=71)
+        integ = HermiteIntegrator(s, eps2)
+        t = integ.step()
+        assert t > 0
+        np.testing.assert_array_equal(s.t, t)
+        np.testing.assert_array_equal(s.dt, t)
+
+    def test_counters(self, eps2):
+        s = plummer_model(16, seed=72)
+        integ = HermiteIntegrator(s, eps2)
+        integ.step()
+        integ.step()
+        assert integ.stats.steps == 2
+        assert integ.stats.particle_steps == 32
+        # init + 2 evaluations of 16x16 - 16 pairs
+        assert integ.stats.interactions == 3 * (16 * 16 - 16)
+
+    def test_energy_conservation(self, eps2):
+        s = plummer_model(48, seed=73)
+        e0 = kinetic_energy(s.vel, s.mass) + potential_energy(s.pos, s.mass, eps2)
+        HermiteIntegrator(s, eps2).run(0.5)
+        e1 = kinetic_energy(s.vel, s.mass) + potential_energy(s.pos, s.mass, eps2)
+        assert abs((e1 - e0) / e0) < 1e-5
+
+    def test_dt_max_cap(self, eps2):
+        s = plummer_model(16, seed=74)
+        integ = HermiteIntegrator(s, eps2, eta=100.0, dt_max=0.03125)
+        integ.step()
+        assert np.all(s.dt == 0.03125)
+
+    def test_eta_controls_step(self):
+        s1 = make_two_body()
+        s2 = make_two_body()
+        i1 = HermiteIntegrator(s1, eps2=0.0, eta=0.01)
+        i2 = HermiteIntegrator(s2, eps2=0.0, eta=0.04)
+        t1 = i1.step()
+        t2 = i2.step()
+        assert t2 > t1  # looser eta, bigger step
+
+    def test_run_reaches_target(self, eps2):
+        s = plummer_model(16, seed=75)
+        integ = HermiteIntegrator(s, eps2)
+        integ.run(0.25)
+        assert integ.t >= 0.25
+
+    def test_adaptive_step_shrinks_in_close_encounters(self):
+        # radially infalling pair: dt must shrink as they approach
+        m = np.array([0.5, 0.5])
+        x = np.array([[1.0, 0, 0], [-1.0, 0, 0]])
+        v = np.zeros((2, 3))
+        from repro.core.particles import ParticleSystem
+
+        s = ParticleSystem(m, x, v)
+        integ = HermiteIntegrator(s, eps2=1e-6, eta=0.02)
+        dts = []
+        for _ in range(40):
+            t_before = integ.t
+            integ.step()
+            dts.append(integ.t - t_before)
+        assert min(dts[-5:]) < min(dts[:5])
+
+    def test_stats_type(self):
+        stats = SharedStepStatistics()
+        assert stats.steps == 0

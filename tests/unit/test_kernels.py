@@ -1,0 +1,152 @@
+"""Force/jerk/potential kernels against analytic references."""
+
+import numpy as np
+import pytest
+
+from repro.forces.kernels import (
+    acc_jerk_pot_on_targets,
+    kinetic_energy,
+    pairwise_acc_jerk_pot,
+    potential_energy,
+)
+
+
+def two_particle_setup():
+    xi = np.array([[0.0, 0.0, 0.0]])
+    vi = np.array([[0.0, 0.0, 0.0]])
+    xj = np.array([[1.0, 0.0, 0.0]])
+    vj = np.array([[0.0, 1.0, 0.0]])
+    mj = np.array([2.0])
+    return xi, vi, xj, vj, mj
+
+
+class TestPairwiseAnalytic:
+    def test_unsoftened_point_mass_acceleration(self):
+        xi, vi, xj, vj, mj = two_particle_setup()
+        acc, jerk, pot = pairwise_acc_jerk_pot(xi, vi, xj, vj, mj, eps2=0.0)
+        # a = G m r / r^3 pointing from i to j
+        assert acc[0] == pytest.approx([2.0, 0.0, 0.0])
+        assert pot[0] == pytest.approx(-2.0)
+        # jerk: v/r^3 - 3 (v.r) r / r^5 with v.r = 0 here
+        assert jerk[0] == pytest.approx([0.0, 2.0, 0.0])
+
+    def test_jerk_radial_term(self):
+        xi, vi, xj, vj, mj = two_particle_setup()
+        vj = np.array([[1.0, 0.0, 0.0]])  # purely radial velocity
+        _, jerk, _ = pairwise_acc_jerk_pot(xi, vi, xj, vj, mj, eps2=0.0)
+        # jerk = m [v/r^3 - 3 (v.r) r/r^5] = 2 [(1,0,0) - 3 (1,0,0)] = (-4,0,0)
+        assert jerk[0] == pytest.approx([-4.0, 0.0, 0.0])
+
+    def test_softening_caps_the_force(self):
+        xi, vi, xj, vj, mj = two_particle_setup()
+        eps2 = 3.0  # r^2 + eps^2 = 4
+        acc, _, pot = pairwise_acc_jerk_pot(xi, vi, xj, vj, mj, eps2=eps2)
+        assert acc[0, 0] == pytest.approx(2.0 / 8.0)
+        assert pot[0] == pytest.approx(-2.0 / 2.0)
+
+    def test_sign_convention_attractive(self):
+        # force on i points towards j (r_ij = x_j - x_i, eq. 4)
+        xi, vi, xj, vj, mj = two_particle_setup()
+        acc, _, _ = pairwise_acc_jerk_pot(xi, vi, xj, vj, mj, eps2=0.0)
+        assert acc[0, 0] > 0.0
+
+    def test_exclude_self_zeroes_coincident_pairs(self):
+        x = np.array([[0.5, 0.5, 0.5]])
+        v = np.array([[0.1, 0.0, 0.0]])
+        m = np.array([1.0])
+        acc, jerk, pot = pairwise_acc_jerk_pot(x, v, x, v, m, eps2=0.01, exclude_self=True)
+        assert np.all(acc == 0.0)
+        assert np.all(jerk == 0.0)
+        assert np.all(pot == 0.0)
+
+
+class TestChunkedEvaluation:
+    def test_chunking_does_not_change_results(self, medium_plummer, eps2):
+        s = medium_plummer
+        idx = np.arange(s.n)
+        big = acc_jerk_pot_on_targets(
+            s.pos, s.vel, s.pos, s.vel, s.mass, eps2, exclude_self=True, chunk=1024
+        )
+        small = acc_jerk_pot_on_targets(
+            s.pos, s.vel, s.pos, s.vel, s.mass, eps2, exclude_self=True, chunk=17
+        )
+        del idx
+        np.testing.assert_array_equal(big.acc, small.acc)
+        np.testing.assert_array_equal(big.jerk, small.jerk)
+        np.testing.assert_array_equal(big.pot, small.pot)
+
+    def test_interaction_count_with_self_exclusion(self, small_plummer, eps2):
+        s = small_plummer
+        res = acc_jerk_pot_on_targets(
+            s.pos, s.vel, s.pos, s.vel, s.mass, eps2, exclude_self=True
+        )
+        assert res.interactions == s.n * s.n - s.n
+        assert res.flops == res.interactions * 57
+
+    def test_external_targets_count_all_pairs(self, small_plummer, eps2):
+        s = small_plummer
+        probes = np.array([[10.0, 0.0, 0.0], [0.0, 10.0, 0.0]])
+        res = acc_jerk_pot_on_targets(
+            probes, np.zeros_like(probes), s.pos, s.vel, s.mass, eps2
+        )
+        assert res.interactions == 2 * s.n
+
+    def test_newton_third_law(self, eps2):
+        # total momentum change rate must vanish: sum m_i a_i = 0
+        rng = np.random.default_rng(5)
+        x = rng.normal(0, 1, (50, 3))
+        v = rng.normal(0, 1, (50, 3))
+        m = rng.uniform(0.5, 2.0, 50)
+        res = acc_jerk_pot_on_targets(x, v, x, v, m, eps2, exclude_self=True)
+        np.testing.assert_allclose(m @ res.acc, 0.0, atol=1e-12)
+        np.testing.assert_allclose(m @ res.jerk, 0.0, atol=1e-12)
+
+
+class TestEnergies:
+    def test_kinetic_energy(self):
+        v = np.array([[1.0, 0.0, 0.0], [0.0, 2.0, 0.0]])
+        m = np.array([2.0, 1.0])
+        assert kinetic_energy(v, m) == pytest.approx(0.5 * 2 + 0.5 * 4)
+
+    def test_potential_energy_two_body(self):
+        x = np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+        m = np.array([1.0, 3.0])
+        assert potential_energy(x, m, eps2=0.0) == pytest.approx(-3.0)
+
+    def test_potential_energy_matches_pairwise_pot(self, small_plummer, eps2):
+        s = small_plummer
+        res = acc_jerk_pot_on_targets(
+            s.pos, s.vel, s.pos, s.vel, s.mass, eps2, exclude_self=True
+        )
+        u_from_pot = 0.5 * np.sum(s.mass * res.pot)
+        assert potential_energy(s.pos, s.mass, eps2) == pytest.approx(u_from_pot)
+
+    def test_potential_chunking_consistency(self, medium_plummer, eps2):
+        s = medium_plummer
+        u1 = potential_energy(s.pos, s.mass, eps2, chunk=1000)
+        u2 = potential_energy(s.pos, s.mass, eps2, chunk=13)
+        assert u1 == pytest.approx(u2, rel=1e-14)
+
+
+class TestValidation:
+    def test_direct_rejects_bad_shapes(self, eps2):
+        from repro.forces import DirectSummation
+
+        backend = DirectSummation(eps2)
+        with pytest.raises(ValueError):
+            backend.set_j_particles(
+                np.zeros((4, 3)), np.zeros((5, 3)), np.zeros(4)
+            )
+
+    def test_direct_requires_load_before_force(self, eps2):
+        from repro.forces import DirectSummation
+
+        backend = DirectSummation(eps2)
+        with pytest.raises(RuntimeError):
+            backend.forces_on(np.zeros((1, 3)), np.zeros((1, 3)))
+
+    def test_negative_eps2_rejected(self):
+        from repro.forces import DirectSummation
+
+        with pytest.raises(ValueError):
+            DirectSummation(-1.0)

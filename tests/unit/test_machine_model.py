@@ -1,0 +1,151 @@
+"""The assembled machine model: breakdowns, limits, consistency."""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    HOST_P4,
+    NIC_INTEL82540EM,
+    NIC_MYRINET,
+    cluster_machine,
+    full_machine,
+    single_node_machine,
+)
+from repro.perfmodel import BlockstepDES, MachineModel
+from repro.perfmodel.des import LevelPopulation
+
+
+class TestBreakdown:
+    def test_components_sum_to_total(self):
+        model = MachineModel(single_node_machine())
+        b = model.step_time_breakdown(10_000)
+        assert b.total_us == pytest.approx(
+            b.host_us + b.hif_us + b.grape_us + b.sync_us + b.exchange_us
+        )
+
+    def test_single_node_has_no_network_terms(self):
+        model = MachineModel(single_node_machine())
+        b = model.step_time_breakdown(10_000)
+        assert b.sync_us == 0.0
+        assert b.exchange_us == 0.0
+
+    def test_single_cluster_has_no_exchange(self):
+        model = MachineModel(cluster_machine(4))
+        b = model.step_time_breakdown(10_000)
+        assert b.sync_us > 0.0
+        assert b.exchange_us == 0.0
+
+    def test_multi_cluster_has_both(self):
+        model = MachineModel(full_machine(4))
+        b = model.step_time_breakdown(10_000)
+        assert b.sync_us > 0.0
+        assert b.exchange_us > 0.0
+
+    def test_block_capped_at_n(self):
+        model = MachineModel(single_node_machine())
+        b = model.step_time_breakdown(300)
+        assert b.block_size <= 300
+
+
+class TestLimits:
+    def test_grape_bound_at_large_n_single_node(self):
+        # at N=1e6 the pipeline term dominates a single node
+        model = MachineModel(single_node_machine())
+        b = model.step_time_breakdown(1_000_000)
+        assert b.grape_us > b.host_us
+        assert b.grape_us > b.hif_us
+
+    def test_sync_bound_at_small_n_parallel(self):
+        # fig. 16: latency wall at small N
+        model = MachineModel(cluster_machine(4))
+        b = model.step_time_breakdown(1_000)
+        assert b.sync_us > b.grape_us
+        assert b.sync_us > b.host_us
+
+    def test_one_over_n_wall(self):
+        # time/step ~ 1/N for small N in parallel runs (figs. 16, 18)
+        model = MachineModel(full_machine(4))
+        t1 = model.time_per_step_us(2_000)
+        t2 = model.time_per_step_us(8_000)
+        nb_ratio = (
+            model.blocks.mean_block_size(8_000) / model.blocks.mean_block_size(2_000)
+        )
+        # overhead-dominated: t scales ~ 1/n_b
+        assert t1 / t2 == pytest.approx(nb_ratio, rel=0.35)
+
+    def test_efficiency_below_one(self):
+        for machine in (single_node_machine(), cluster_machine(4), full_machine(4)):
+            model = MachineModel(machine)
+            for n in (1e4, 1e5, 1e6):
+                assert 0.0 < model.efficiency(int(n)) < 1.0
+
+    def test_speed_monotone_in_n_per_config(self):
+        model = MachineModel(full_machine(4))
+        speeds = [model.speed_gflops(int(n)) for n in np.logspace(3.5, 6.3, 12)]
+        assert all(a < b for a, b in zip(speeds, speeds[1:]))
+
+    def test_capacity_error_beyond_jmem(self):
+        model = MachineModel(single_node_machine())
+        with pytest.raises(ValueError):
+            model.speed_gflops(3_000_000)
+
+    def test_needs_two_particles(self):
+        model = MachineModel(single_node_machine())
+        with pytest.raises(ValueError):
+            model.speed_gflops(1)
+
+
+class TestVariants:
+    def test_constant_host_variant_differs_at_small_n(self):
+        model = MachineModel(single_node_machine())
+        # dashed vs dotted curves of fig. 14: differ where cache helps
+        assert model.time_per_step_constant_host_us(500) > model.time_per_step_us(500)
+        assert model.time_per_step_constant_host_us(1_000_000) == pytest.approx(
+            model.time_per_step_us(1_000_000), rel=0.02
+        )
+
+    def test_myrinet_would_help_small_n(self):
+        # section 4.4: "the most obvious solution is to move to ... Myrinet"
+        base = MachineModel(full_machine(4))
+        myri = MachineModel(full_machine(4).with_nic(NIC_MYRINET))
+        assert myri.speed_gflops(10_000) > 1.5 * base.speed_gflops(10_000)
+
+    def test_sweep_returns_grid(self):
+        model = MachineModel(single_node_machine())
+        rows = model.sweep([1000, 2000, 4000])
+        assert [b.n for b in rows] == [1000, 2000, 4000]
+
+
+class TestDES:
+    def test_population_total(self):
+        pop = LevelPopulation.from_block_model(10_000)
+        assert pop.n == pytest.approx(10_000, rel=0.01)
+
+    def test_census_rates_and_sizes(self):
+        pop = LevelPopulation(levels=np.array([2, 4]), counts=np.array([6.0, 2.0]))
+        census = dict((k, (r, nb)) for k, r, nb in pop.block_census())
+        # k=0..2 blocks contain all 8; k=3,4 only the deep 2
+        assert census[0] == (1.0, 8.0)
+        assert census[2] == (2.0, 8.0)
+        assert census[4] == (8.0, 2.0)
+
+    def test_des_consistent_with_analytic(self):
+        model = MachineModel(single_node_machine())
+        des = BlockstepDES(model)
+        for n in (10_000, 100_000):
+            r = des.run(n)
+            analytic = model.time_per_step_us(n)
+            # same cost function over a block-size distribution vs the
+            # mean: agreement within a factor ~1.5 shows consistency
+            assert r.time_per_step_us == pytest.approx(analytic, rel=0.5)
+
+    def test_des_deterministic(self):
+        model = MachineModel(cluster_machine(4))
+        des = BlockstepDES(model)
+        assert des.run(50_000).speed_gflops == des.run(50_000).speed_gflops
+
+    def test_level_population_validation(self):
+        with pytest.raises(ValueError):
+            LevelPopulation(levels=np.array([1]), counts=np.array([-1.0]))
+        with pytest.raises(ValueError):
+            LevelPopulation(levels=np.array([1, 2]), counts=np.array([1.0]))

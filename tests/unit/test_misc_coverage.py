@@ -1,0 +1,94 @@
+"""Remaining coverage: emulator predictor-mode force backend, snapshot
+round-trips with the AC integrator, partitioned-cluster integration,
+and the bypass-NIC helper."""
+
+import numpy as np
+import pytest
+
+from repro.config import NIC_NS83820, bypass_tcpip, grape6a_machine
+from repro.core import AhmadCohenIntegrator, BlockTimestepIntegrator
+from repro.io import read_snapshot, write_snapshot
+from repro.models import plummer_model
+from repro.perfmodel import MachineModel
+
+
+class TestBypassNIC:
+    def test_latency_scaled_bandwidth_kept(self):
+        nic = bypass_tcpip(NIC_NS83820, 0.4)
+        assert nic.rtt_latency_us == pytest.approx(80.0)
+        assert nic.bandwidth_mbs == NIC_NS83820.bandwidth_mbs
+        assert "bypass" in nic.name
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bypass_tcpip(NIC_NS83820, 0.0)
+        with pytest.raises(ValueError):
+            bypass_tcpip(NIC_NS83820, 1.5)
+
+
+class TestGrape6AConfig:
+    def test_single_board_machine(self):
+        m = grape6a_machine()
+        assert m.nodes == 1
+        assert m.node.boards == 1
+        assert m.chips == 32
+
+    def test_capacity_is_board_limited(self):
+        model = MachineModel(grape6a_machine())
+        model.speed_gflops(500_000)  # fits: 32 x 16384 = 524k
+        with pytest.raises(ValueError):
+            model.speed_gflops(600_000)
+
+    def test_quarter_of_node_peak(self):
+        from repro.config import single_node_machine
+
+        assert grape6a_machine().peak_flops == pytest.approx(
+            single_node_machine().peak_flops / 4.0
+        )
+
+
+class TestSnapshotWithSchemes:
+    def test_ac_integrator_state_snapshot(self, tmp_path, eps2):
+        # the particle-level state (not the AC bookkeeping) round-trips;
+        # a restart re-derives neighbour lists and regular polynomials
+        system = plummer_model(48, seed=77)
+        integ = AhmadCohenIntegrator(system, eps2)
+        integ.run(0.125)
+        path = tmp_path / "ac.npz"
+        write_snapshot(path, system, t=0.125, metadata={"scheme": "ahmad-cohen"})
+        restored, meta = read_snapshot(path)
+        assert meta["scheme"] == "ahmad-cohen"
+        np.testing.assert_array_equal(restored.pos, system.pos)
+        np.testing.assert_array_equal(restored.dt, system.dt)
+        # and a fresh block integrator can continue from it
+        cont = BlockTimestepIntegrator(restored, eps2)
+        cont.run(0.0625)
+        assert np.all(np.isfinite(restored.pos))
+
+    def test_metadata_defaults(self, tmp_path, small_plummer):
+        path = tmp_path / "plain.npz"
+        write_snapshot(path, small_plummer, t=1.5)
+        _, meta = read_snapshot(path)
+        assert meta["t"] == 1.5
+        assert meta["n"] == small_plummer.n
+
+
+class TestEmulatorAsBackendMisc:
+    def test_interaction_count_without_indices(self, eps2):
+        from repro.hardware import Grape6Emulator
+
+        s = plummer_model(12, seed=78)
+        emu = Grape6Emulator(eps2, boards=1)
+        emu.set_j_particles(s.pos, s.vel, s.mass)
+        probes = s.pos[:3] + 0.5
+        res = emu.forces_on(probes, s.vel[:3])
+        assert res.interactions == 3 * 12  # external targets: all pairs
+
+    def test_jmem_load_counter(self, eps2):
+        from repro.hardware import Grape6Emulator
+
+        s = plummer_model(12, seed=79)
+        emu = Grape6Emulator(eps2, boards=1)
+        emu.set_j_particles(s.pos, s.vel, s.mass)
+        emu.set_j_particles(s.pos, s.vel, s.mass)
+        assert emu.stats.jmem_loads == 2

@@ -1,0 +1,138 @@
+"""Network-board partitioning, LVDS link budgets, event-driven DES."""
+
+import numpy as np
+import pytest
+
+from repro.config import single_node_machine
+from repro.hardware import (
+    Grape6Emulator,
+    LVDSLink,
+    NetworkBoard,
+    PartitionedCluster,
+    board_link_budget,
+)
+from repro.hardware.links import paper_operating_point_budget
+from repro.models import plummer_model
+from repro.perfmodel import BlockstepDES, MachineModel
+from repro.perfmodel.des import LevelPopulation
+from repro.perfmodel.des_event import EventDrivenDES
+
+
+class TestNetworkBoard:
+    def test_default_single_partition(self):
+        nb = NetworkBoard(4)
+        assert nb.partitions() == [[0, 1, 2, 3]]
+
+    def test_routing_splits_partitions(self):
+        nb = NetworkBoard(4)
+        nb.route(2, 1)
+        nb.route(3, 1)
+        assert nb.partitions() == [[0, 1], [2, 3]]
+
+    def test_bounds(self):
+        nb = NetworkBoard(2)
+        with pytest.raises(IndexError):
+            nb.route(2, 0)
+        with pytest.raises(IndexError):
+            nb.route(0, 4)
+        with pytest.raises(ValueError):
+            NetworkBoard(5)
+
+
+class TestPartitionedCluster:
+    def test_partition_equals_standalone(self, eps2):
+        """The design requirement of the fig. 3 switch: a partition is
+        indistinguishable from a standalone machine of the same size."""
+        s = plummer_model(24, seed=21)
+        cluster = PartitionedCluster([eps2, eps2], [2, 2])
+        cluster.partition(0).set_j_particles(s.pos, s.vel, s.mass)
+        res = cluster.forces_on(0, s.pos, s.vel, np.arange(24))
+
+        solo = Grape6Emulator(eps2, boards=2)
+        solo.set_j_particles(s.pos, s.vel, s.mass)
+        ref = solo.forces_on(s.pos, s.vel, np.arange(24))
+        np.testing.assert_array_equal(res.acc, ref.acc)
+        np.testing.assert_array_equal(res.pot, ref.pot)
+
+    def test_partitions_are_independent(self, eps2):
+        a = plummer_model(16, seed=22)
+        b = plummer_model(20, seed=23)
+        cluster = PartitionedCluster([eps2, eps2 * 4], [1, 3])
+        cluster.partition(0).set_j_particles(a.pos, a.vel, a.mass)
+        cluster.partition(1).set_j_particles(b.pos, b.vel, b.mass)
+        res_a1 = cluster.forces_on(0, a.pos, a.vel, np.arange(16))
+        # running partition 1 must not disturb partition 0
+        cluster.forces_on(1, b.pos, b.vel, np.arange(20))
+        res_a2 = cluster.forces_on(0, a.pos, a.vel, np.arange(16))
+        np.testing.assert_array_equal(res_a1.acc, res_a2.acc)
+
+    def test_validation(self, eps2):
+        with pytest.raises(ValueError):
+            PartitionedCluster([eps2], [5])
+        with pytest.raises(ValueError):
+            PartitionedCluster([eps2, eps2], [1])
+        with pytest.raises(ValueError):
+            PartitionedCluster([eps2], [0])
+
+
+class TestLinkBudget:
+    def test_fpd_link_rate(self):
+        # 3 pairs x 7 bits x 66 MHz = 1386 Mbit/s ~ 173 MB/s
+        link = LVDSLink()
+        assert link.payload_mbs == pytest.approx(173.25, rel=0.01)
+        assert link.signal_count == 8  # "8 for one port"
+
+    def test_paper_operating_point_closes(self):
+        # the serial links must not limit the fig. 13 anchor point
+        budget = paper_operating_point_budget()
+        assert budget.closes
+        assert budget.utilisation < 0.1
+
+    def test_demand_scales_with_step_rate(self):
+        b1 = board_link_budget(1000, 100.0, steps_per_second=1.0e4)
+        b2 = board_link_budget(1000, 100.0, steps_per_second=2.0e4)
+        assert b2.demand_in_mbs == pytest.approx(2 * b1.demand_in_mbs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            board_link_budget(0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            board_link_budget(10, -1.0, 1.0)
+
+
+class TestEventDrivenDES:
+    def test_matches_census_for_static_levels(self):
+        model = MachineModel(single_node_machine())
+        pop = LevelPopulation.from_block_model(4000, model.blocks)
+        census = BlockstepDES(model).run(4000, population=pop)
+        event = EventDrivenDES(model, migration_rate=0.0).run(
+            4000, population=pop, sim_time=1.0
+        )
+        # static levels: same schedule, up to integer rounding of the
+        # fractional census counts
+        assert event.time_per_step_us == pytest.approx(
+            census.time_per_step_us, rel=0.02
+        )
+        assert event.blocksteps_per_unit_time == pytest.approx(
+            census.blocksteps_per_unit_time, rel=0.01
+        )
+
+    def test_deterministic_given_seed(self):
+        model = MachineModel(single_node_machine())
+        a = EventDrivenDES(model, migration_rate=0.05, seed=7).run(2000, sim_time=0.5)
+        b = EventDrivenDES(model, migration_rate=0.05, seed=7).run(2000, sim_time=0.5)
+        assert a.time_per_step_us == b.time_per_step_us
+        assert a.migrations == b.migrations
+
+    def test_migration_happens_and_times_stay_commensurable(self):
+        model = MachineModel(single_node_machine())
+        res = EventDrivenDES(model, migration_rate=0.05, seed=8).run(
+            2000, sim_time=0.5
+        )
+        assert res.migrations > 0
+        assert res.particle_steps_per_unit_time > 0
+
+    def test_validation(self):
+        model = MachineModel(single_node_machine())
+        with pytest.raises(ValueError):
+            EventDrivenDES(model, migration_rate=1.5)

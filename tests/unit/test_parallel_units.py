@@ -1,0 +1,161 @@
+"""Virtual clocks, the simulated network, topology and barrier costs."""
+
+
+import numpy as np
+import pytest
+
+from repro.config import NIC_INTEL82540EM, NIC_NS83820
+from repro.parallel import Grid2D, SimNetwork, VirtualClock
+from repro.parallel.barrier import butterfly_barrier_us, butterfly_rounds, mpich_barrier_us
+
+
+class TestVirtualClock:
+    def test_advance_and_elapsed(self):
+        clock = VirtualClock(3)
+        clock.advance(0, 100.0)
+        clock.advance(1, 50.0)
+        assert clock.now(0) == 100.0
+        assert clock.elapsed == 100.0
+
+    def test_wait_until_never_rewinds(self):
+        clock = VirtualClock(2)
+        clock.advance(0, 100.0)
+        clock.wait_until(0, 50.0)
+        assert clock.now(0) == 100.0
+        clock.wait_until(0, 150.0)
+        assert clock.now(0) == 150.0
+
+    def test_synchronize_jumps_to_max(self):
+        clock = VirtualClock(3)
+        clock.advance(2, 77.0)
+        t = clock.synchronize()
+        assert t == 77.0
+        assert all(clock.now(r) == 77.0 for r in range(3))
+
+    def test_negative_advance_rejected(self):
+        clock = VirtualClock(1)
+        with pytest.raises(ValueError):
+            clock.advance(0, -1.0)
+
+
+class TestSimNetwork:
+    def test_message_time_model(self):
+        net = SimNetwork(2, NIC_NS83820)
+        # 200us RTT -> 100us one-way; 60 MB/s == 60 bytes/us
+        assert net.message_time_us(0) == pytest.approx(100.0)
+        assert net.message_time_us(6000) == pytest.approx(200.0)
+
+    def test_send_recv_moves_data_and_time(self):
+        net = SimNetwork(2, NIC_NS83820)
+        net.send(0, 1, {"hello": 1}, nbytes=600)
+        payload = net.recv(1, 0)
+        assert payload == {"hello": 1}
+        assert net.clock.now(1) == pytest.approx(110.0)
+        assert net.stats.messages == 1
+        assert net.stats.bytes == 600
+
+    def test_recv_without_send_fails(self):
+        net = SimNetwork(2)
+        with pytest.raises(RuntimeError):
+            net.recv(1, 0)
+
+    def test_self_send_rejected(self):
+        net = SimNetwork(2)
+        with pytest.raises(ValueError):
+            net.send(0, 0, None, 8)
+
+    def test_fifo_per_channel(self):
+        net = SimNetwork(2)
+        net.send(0, 1, "a", 8, tag=5)
+        net.send(0, 1, "b", 8, tag=5)
+        assert net.recv(1, 0, tag=5) == "a"
+        assert net.recv(1, 0, tag=5) == "b"
+
+    def test_barrier_synchronises_clocks(self):
+        net = SimNetwork(4, NIC_NS83820)
+        net.clock.advance(2, 500.0)
+        net.barrier()
+        times = {net.clock.now(r) for r in range(4)}
+        assert len(times) == 1
+        assert net.stats.barriers == 1
+        # barrier must cost at least the straggler + rounds * latency
+        assert net.clock.elapsed >= 500.0 + 2 * 100.0
+
+    def test_bcast_delivers_everywhere(self):
+        net = SimNetwork(8)
+        seen = net.bcast(root=3, payload="data", nbytes=100)
+        assert all(p == "data" for p in seen)
+
+    def test_allgather(self):
+        net = SimNetwork(4)
+        result = net.allgather([f"p{r}" for r in range(4)], nbytes_each=64)
+        for r in range(4):
+            assert result[r] == ["p0", "p1", "p2", "p3"]
+
+    def test_faster_nic_is_faster(self):
+        slow = SimNetwork(4, NIC_NS83820)
+        fast = SimNetwork(4, NIC_INTEL82540EM)
+        slow.barrier()
+        fast.barrier()
+        assert fast.clock.elapsed < slow.clock.elapsed
+
+
+class TestGrid2D:
+    def test_square_requirement(self):
+        assert Grid2D.from_ranks(4).r == 2
+        assert Grid2D.from_ranks(9).r == 3
+        with pytest.raises(ValueError):
+            Grid2D.from_ranks(6)
+
+    def test_rank_coord_roundtrip(self):
+        g = Grid2D(3)
+        for rank in range(9):
+            row, col = g.coords(rank)
+            assert g.rank(row, col) == rank
+
+    def test_rows_cols_diagonal(self):
+        g = Grid2D(3)
+        assert g.row_ranks(1) == [3, 4, 5]
+        assert g.col_ranks(1) == [1, 4, 7]
+        assert g.diagonal() == [0, 4, 8]
+
+    def test_subsets_partition(self):
+        g = Grid2D(3)
+        subsets = g.subset_slices(10)
+        merged = np.concatenate(subsets)
+        np.testing.assert_array_equal(np.sort(merged), np.arange(10))
+
+    def test_bounds_checks(self):
+        g = Grid2D(2)
+        with pytest.raises(IndexError):
+            g.rank(2, 0)
+        with pytest.raises(IndexError):
+            g.coords(4)
+
+
+class TestBarrierCosts:
+    def test_rounds(self):
+        assert butterfly_rounds(1) == 0
+        assert butterfly_rounds(2) == 1
+        assert butterfly_rounds(4) == 2
+        assert butterfly_rounds(16) == 4
+        assert butterfly_rounds(5) == 3
+
+    def test_cost_scales_with_log_p(self):
+        c2 = butterfly_barrier_us(2, NIC_NS83820)
+        c16 = butterfly_barrier_us(16, NIC_NS83820)
+        assert c16 == pytest.approx(4 * c2, rel=0.01)
+
+    def test_mpich_is_twice_butterfly(self):
+        # "about two times faster than the use of MPI_barrier"
+        assert mpich_barrier_us(8, NIC_NS83820) == pytest.approx(
+            2 * butterfly_barrier_us(8, NIC_NS83820)
+        )
+
+    def test_analytic_matches_simulated(self):
+        # the executable barrier and the analytic cost must agree
+        for p in (2, 4, 8, 16):
+            net = SimNetwork(p, NIC_NS83820)
+            net.barrier()
+            analytic = butterfly_barrier_us(p, NIC_NS83820)
+            assert net.clock.elapsed == pytest.approx(analytic, rel=0.05)

@@ -1,0 +1,196 @@
+"""Performance-model components: flops, scaling laws, T_host, T_GRAPE,
+communication terms."""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    HOST_P4,
+    HostConfig,
+    NIC_INTEL82540EM,
+    NIC_NS83820,
+    NodeConfig,
+    single_node_machine,
+)
+from repro.perfmodel.blockstats import BLOCK_MODELS, fit_power_law, PowerLaw
+from repro.perfmodel.comm_model import ClusterExchangeModel, SyncModel
+from repro.perfmodel.flops import (
+    particle_steps_per_second,
+    speed_flops,
+    speed_from_interactions,
+    speed_gflops,
+)
+from repro.perfmodel.grape_time import GrapeTimeModel, HostInterfaceModel
+from repro.perfmodel.host_model import HostTimeModel
+
+
+class TestFlops:
+    def test_eq9(self):
+        # S = 57 N n_steps
+        assert speed_flops(1000, 100.0) == 57 * 1000 * 100.0
+
+    def test_gflops_inversion(self):
+        s = speed_gflops(200_000, 11.4)
+        assert s == pytest.approx(1000.0, rel=0.01)  # 1 Tflops
+
+    def test_steps_from_speed(self):
+        s = speed_flops(1000, 500.0)
+        assert particle_steps_per_second(s, 1000) == pytest.approx(500.0)
+
+    def test_interactions(self):
+        assert speed_from_interactions(1e9, 1.0) == 57e9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            speed_gflops(100, 0.0)
+        with pytest.raises(ValueError):
+            speed_flops(0, 1.0)
+
+
+class TestBlockStats:
+    def test_power_law_fit_recovers_exact(self):
+        law = PowerLaw(0.3, 0.8)
+        ns = np.array([100.0, 1000.0, 10000.0])
+        fitted = fit_power_law(ns, np.array([law(n) for n in ns]))
+        assert fitted.q0 == pytest.approx(0.3, rel=1e-6)
+        assert fitted.gamma == pytest.approx(0.8, rel=1e-6)
+
+    def test_block_size_grows_sublinearly(self):
+        for model in BLOCK_MODELS.values():
+            assert 0.3 < model.block_size.gamma < 1.0
+            # n_b < N throughout the paper's range
+            for n in (1e3, 1e5, 2e6):
+                assert model.mean_block_size(n) < n
+
+    def test_constant_softening_has_largest_blocks(self):
+        # smaller softening -> harder encounters -> smaller blocks
+        n = 1.0e5
+        nb = {k: m.mean_block_size(n) for k, m in BLOCK_MODELS.items()}
+        assert nb["constant"] > nb["n13"] > nb["4overN"]
+
+    def test_laws_agree_at_calibration_point(self):
+        # all three softenings coincide at N=256 (same eps there)
+        nbs = [m.mean_block_size(256) for m in BLOCK_MODELS.values()]
+        assert max(nbs) / min(nbs) < 1.5
+
+    def test_step_rate_increases_with_n(self):
+        m = BLOCK_MODELS["constant"]
+        assert m.step_rate(1e6) > m.step_rate(1e3)
+
+    def test_blocksteps_per_unit_time(self):
+        m = BLOCK_MODELS["constant"]
+        n = 1024
+        expected = m.steps_per_unit_time(n) / m.mean_block_size(n)
+        assert m.blocksteps_per_unit_time(n) == pytest.approx(expected)
+
+    def test_fit_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([1.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([1.0, -2.0]), np.array([1.0, 2.0]))
+
+
+class TestHostModel:
+    def test_monotone_in_n(self):
+        model = HostTimeModel(HostConfig())
+        ts = [model.t_step_us(n) for n in (100, 1000, 10000, 100000, 1000000)]
+        assert all(a <= b for a, b in zip(ts, ts[1:]))
+
+    def test_limits(self):
+        host = HostConfig()
+        model = HostTimeModel(host)
+        assert model.t_step_us(10) == pytest.approx(host.t_step_base_us, rel=0.1)
+        assert model.t_step_us(10**7) == pytest.approx(
+            host.t_step_base_us + host.t_step_miss_us, rel=0.05
+        )
+
+    def test_p4_faster_than_athlon(self):
+        athlon = HostTimeModel(HostConfig())
+        p4 = HostTimeModel(HOST_P4)
+        for n in (1e3, 1e5, 1e6):
+            assert p4.t_step_us(int(n)) < athlon.t_step_us(int(n))
+
+    def test_constant_variant_is_plateau(self):
+        model = HostTimeModel(HostConfig())
+        assert model.t_step_constant_us() == pytest.approx(
+            model.t_step_us(10**8), rel=0.01
+        )
+
+
+class TestGrapeTime:
+    def test_n_j_per_chip_is_n_over_128(self):
+        model = GrapeTimeModel(NodeConfig())
+        assert model.n_j_per_chip(128_000) == 1000.0
+
+    def test_pass_time(self):
+        model = GrapeTimeModel(NodeConfig())
+        # 8 cycles per j at 90 MHz: 1000 j -> 8000/90e6 s = 88.9 us
+        assert model.pass_time_us(128_000) == pytest.approx(88.9, rel=0.01)
+
+    def test_pass_quantisation(self):
+        model = GrapeTimeModel(NodeConfig())
+        assert model.passes(1) == 1
+        assert model.passes(48) == 1
+        assert model.passes(49) == 2
+        assert model.passes(0) == 0
+
+    def test_peak_throughput_recovered(self):
+        # for full blocks the per-step time approaches N / (chips*pipes*clock)
+        model = GrapeTimeModel(NodeConfig())
+        n = 960_000
+        share = 4800.0  # 100 full passes
+        per_step = model.blockstep_us(n, share) / share
+        ideal = n / (128 * 6 * 90e6) * 1e6
+        assert per_step == pytest.approx(ideal, rel=0.01)
+
+    def test_capacity_guard(self):
+        model = GrapeTimeModel(NodeConfig())
+        model.check_capacity(2_000_000)  # the paper's largest run fits
+        with pytest.raises(ValueError):
+            model.check_capacity(3_000_000)
+
+
+class TestHostInterface:
+    def test_per_step_bytes(self):
+        model = HostInterfaceModel(NodeConfig())
+        assert model.bytes_per_step == 64 + 56 + 112
+
+    def test_dma_floor(self):
+        # tiny blocks are dominated by the DMA overhead (fig. 14 small-N)
+        model = HostInterfaceModel(NodeConfig())
+        t1 = model.blockstep_us(1.0)
+        assert t1 >= NodeConfig().dma_overhead_us
+
+    def test_zero_share_costs_nothing(self):
+        model = HostInterfaceModel(NodeConfig())
+        assert model.blockstep_us(0.0) == 0.0
+
+
+class TestCommModels:
+    def test_sync_zero_for_single_host(self):
+        sync = SyncModel(NIC_NS83820)
+        assert sync.blockstep_us(1) == 0.0
+
+    def test_sync_scales_with_log_hosts(self):
+        sync = SyncModel(NIC_NS83820)
+        assert sync.blockstep_us(16) == pytest.approx(4 * sync.blockstep_us(2))
+
+    def test_sync_benefits_from_nic_tuning(self):
+        slow = SyncModel(NIC_NS83820).blockstep_us(16)
+        fast = SyncModel(NIC_INTEL82540EM).blockstep_us(16)
+        assert fast / slow == pytest.approx(67.0 / 200.0, rel=0.01)
+
+    def test_exchange_zero_for_one_cluster(self):
+        ex = ClusterExchangeModel(NIC_NS83820, NodeConfig())
+        assert ex.blockstep_us(1e4, clusters=1) == 0.0
+
+    def test_exchange_grows_with_block_and_clusters(self):
+        ex = ClusterExchangeModel(NIC_NS83820, NodeConfig())
+        assert ex.blockstep_us(2e4, 4) > ex.blockstep_us(1e4, 4)
+        assert ex.blockstep_us(1e4, 4) > ex.blockstep_us(1e4, 2)
+
+    def test_receive_side_dominates_at_large_blocks(self):
+        # bandwidth term linear in n_b; latency term constant
+        ex = ClusterExchangeModel(NIC_NS83820, NodeConfig())
+        big = ex.blockstep_us(1e6, 4)
+        assert big == pytest.approx(0.75 * 1e6 * 128 / 60.0, rel=0.15)

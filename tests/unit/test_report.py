@@ -1,0 +1,44 @@
+"""The machine-readable reproduction report."""
+
+import pytest
+
+from repro.perfmodel.report import Anchor, all_anchors_hold, build_report, format_report
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return build_report()
+
+    def test_every_anchor_holds(self, report):
+        failing = [a.statement for a in report if not a.within_band]
+        assert not failing, failing
+
+    def test_covers_all_headline_figures(self, report):
+        figures = {a.figure for a in report}
+        assert {"fig13", "fig15", "fig17", "fig19", "sec5"} <= figures
+
+    def test_accounting_anchors_exact(self, report):
+        accounting = [a for a in report if "(accounting)" in a.statement]
+        assert len(accounting) == 2
+        for a in accounting:
+            assert a.ratio == pytest.approx(1.0, abs=0.005)
+
+    def test_all_anchors_hold_helper(self, report):
+        assert all_anchors_hold(report)
+        broken = report + [
+            Anchor("x", "bogus", paper_value=1.0, reproduced=10.0, rel_tolerance=0.1)
+        ]
+        assert not all_anchors_hold(broken)
+
+    def test_format_renders_every_row(self, report):
+        text = format_report(report)
+        assert text.count("\n") >= len(report)
+        assert "DEVIATES" not in text
+
+    def test_anchor_math(self):
+        a = Anchor("f", "s", paper_value=10.0, reproduced=12.0, rel_tolerance=0.25)
+        assert a.ratio == pytest.approx(1.2)
+        assert a.within_band
+        b = Anchor("f", "s", paper_value=10.0, reproduced=13.0, rel_tolerance=0.25)
+        assert not b.within_band

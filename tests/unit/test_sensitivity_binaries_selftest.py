@@ -1,0 +1,146 @@
+"""Sensitivity analysis, binary detection, and the hardware self-test."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.binaries import find_binaries, hard_binaries
+from repro.core.particles import ParticleSystem
+from repro.hardware.selftest import run_selftest
+from repro.models import binary_black_hole_model, plummer_model
+from repro.perfmodel.sensitivity import (
+    crossover_sensitivity,
+    headline_speed_sensitivity,
+    robust_conclusions,
+)
+from tests.conftest import make_two_body
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return crossover_sensitivity()
+
+    def test_latency_elasticity_near_one(self, rows):
+        """Crossover N scales ~linearly with the latency product: the
+        per-step sync cost is latency/n_b and n_b ~ N^gamma, so
+        elasticity ~ 1/gamma ... ~ 1.1 with gamma = 0.86."""
+        lat = [r for r in rows if r.parameter == "nic_rtt_latency"]
+        for r in lat:
+            assert 0.8 < r.elasticity < 1.5
+
+    def test_flights_equivalent_to_latency(self, rows):
+        """Sync flights and RTT enter only as a product: identical
+        responses (a structural identity of the model)."""
+        by_scale_lat = {
+            r.scale: r.output for r in rows if r.parameter == "nic_rtt_latency"
+        }
+        by_scale_fl = {
+            r.scale: r.output for r in rows if r.parameter == "sync_flights"
+        }
+        for s, x in by_scale_lat.items():
+            assert by_scale_fl[s] == pytest.approx(x)
+
+    def test_block_prefactor_counteracts_latency(self, rows):
+        """Bigger blocks amortise the same latency over more steps:
+        negative elasticity mirroring the latency one."""
+        blk = [r for r in rows if r.parameter == "block_size_prefactor"]
+        for r in blk:
+            assert r.elasticity < -0.8
+
+    def test_robust_conclusions_hold(self):
+        flags = robust_conclusions()
+        assert all(flags.values()), flags
+
+    def test_headline_speed_responds_mildly(self):
+        rows = headline_speed_sensitivity()
+        for r in rows:
+            # +-25% input wobble moves the headline by far less than 25%
+            assert abs(r.output / r.baseline - 1.0) < 0.15
+
+
+class TestBinaries:
+    def test_finds_isolated_binary(self):
+        s = make_two_body(separation=0.5)
+        binaries = find_binaries(s, max_semi_major_axis=1.0)
+        assert len(binaries) == 1
+        assert binaries[0].elements.semi_major_axis == pytest.approx(0.5, rel=1e-9)
+
+    def test_finds_bh_binary_in_cluster(self):
+        s = binary_black_hole_model(100, seed=3, separation=0.05)
+        binaries = find_binaries(s, max_semi_major_axis=0.2)
+        pairs = {(b.i, b.j) for b in binaries}
+        assert (100, 101) in pairs  # the two BHs are the last particles
+
+    def test_unbound_pairs_excluded(self):
+        m = np.array([0.5, 0.5])
+        x = np.array([[0.1, 0, 0], [-0.1, 0, 0]])
+        v = np.array([[5.0, 0, 0], [-5.0, 0, 0]])  # hyperbolic flyby
+        s = ParticleSystem(m, x, v)
+        assert find_binaries(s, max_semi_major_axis=10.0) == []
+
+    def test_wide_pairs_filtered_by_sma(self):
+        s = make_two_body(separation=0.5)
+        assert find_binaries(s, max_semi_major_axis=0.1) == []
+
+    def test_hardness_classification(self):
+        # a very tight massive pair inside a cluster is hard
+        cluster = plummer_model(98, seed=4)
+        mass = np.concatenate((cluster.mass * 0.9, [0.05, 0.05]))
+        sep = 1.0e-3
+        bh_pos = np.array([[sep / 2, 0, 0], [-sep / 2, 0, 0]])
+        v_circ = np.sqrt(0.05 / (2 * sep))
+        bh_vel = np.array([[0, v_circ, 0], [0, -v_circ, 0.0]])
+        s = ParticleSystem(
+            mass,
+            np.vstack((cluster.pos, bh_pos)),
+            np.vstack((cluster.vel, bh_vel)),
+        )
+        hard = hard_binaries(s, max_semi_major_axis=0.05)
+        assert any({b.i, b.j} == {98, 99} for b in hard)
+
+    def test_single_particle_no_binaries(self):
+        s = ParticleSystem(np.ones(1), np.zeros((1, 3)), np.zeros((1, 3)))
+        assert find_binaries(s) == []
+
+
+class TestSelfTest:
+    def test_default_acceptance(self):
+        report = run_selftest()
+        assert report.passed
+        assert report.partition_invariant
+        assert report.max_rel_acc_error < 1e-5
+
+    def test_deterministic(self):
+        a = run_selftest(n=32, seed=7)
+        b = run_selftest(n=32, seed=7)
+        assert a.max_rel_acc_error == b.max_rel_acc_error
+
+    def test_detects_degraded_hardware(self):
+        """A sabotaged emulator (wrong softening register on one board)
+        must fail the partition-invariance check — the self-test's
+        purpose."""
+        import numpy as np_
+
+        from repro.forces.direct import DirectSummation
+        from repro.hardware.selftest import _test_pattern
+        from repro.hardware.system import Grape6Emulator
+
+        eps2 = 1.0 / 4096.0
+        x, v, m = _test_pattern(32, 2003)
+        idx = np_.arange(32)
+        good = Grape6Emulator(eps2, boards=2)
+        good.set_j_particles(x, v, m)
+        ok = good.forces_on(x, v, idx)
+
+        bad = Grape6Emulator(eps2, boards=2)
+        # mis-program the first board (32 test particles stripe onto the
+        # first 32 chips, which all live there)
+        bad.boards[0].set_eps2(eps2 * 4.0)
+        bad.set_j_particles(x, v, m)
+        broken = bad.forces_on(x, v, idx)
+        assert not np_.array_equal(ok.acc, broken.acc)
+        del DirectSummation
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_selftest(n=1)

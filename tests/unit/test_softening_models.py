@@ -1,0 +1,172 @@
+"""Softening laws (section 4) and initial-condition generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.softening import (
+    SOFTENING_LAWS,
+    constant_softening,
+    n_dependent_softening,
+    softening_by_name,
+    strong_softening,
+)
+from repro.forces.kernels import kinetic_energy, potential_energy
+from repro.models import (
+    binary_black_hole_model,
+    cold_sphere,
+    kuiper_belt_model,
+    plummer_model,
+    uniform_sphere,
+)
+from repro.units import plummer_scale_radius
+
+
+class TestSofteningLaws:
+    def test_all_laws_agree_at_n256(self):
+        # paper: "for N = 256, all three choices of the softening give
+        # the same value"
+        values = {law(256) for law in SOFTENING_LAWS.values()}
+        assert all(abs(v - 1.0 / 64.0) < 1e-4 for v in values)
+
+    def test_constant_is_constant(self):
+        assert constant_softening(100) == constant_softening(10**7) == 1.0 / 64.0
+
+    def test_n_dependent_shrinks_like_cube_root(self):
+        ratio = n_dependent_softening(1000) / n_dependent_softening(8000)
+        assert ratio == pytest.approx(2.0)
+
+    def test_strong_shrinks_linearly(self):
+        assert strong_softening(4000) == pytest.approx(0.001)
+
+    def test_lookup(self):
+        assert softening_by_name("constant") is constant_softening
+        with pytest.raises(KeyError):
+            softening_by_name("nope")
+
+    def test_positive_n_required(self):
+        with pytest.raises(ValueError):
+            strong_softening(0)
+        with pytest.raises(ValueError):
+            n_dependent_softening(-5)
+
+
+class TestPlummerModel:
+    def test_heggie_normalisation(self):
+        s = plummer_model(4096, seed=17)
+        t = kinetic_energy(s.vel, s.mass)
+        u = potential_energy(s.pos, s.mass, eps2=0.0)
+        e = t + u
+        # E should be near -1/4 and virial ratio near 0.5 (sampling noise)
+        assert e == pytest.approx(-0.25, abs=0.02)
+        assert -2 * t / u == pytest.approx(1.0, abs=0.1)
+
+    def test_total_mass_unity_equal_masses(self):
+        s = plummer_model(100, seed=1)
+        assert s.total_mass == pytest.approx(1.0)
+        assert np.all(s.mass == s.mass[0])
+
+    def test_reproducible_by_seed(self):
+        a = plummer_model(64, seed=5)
+        b = plummer_model(64, seed=5)
+        np.testing.assert_array_equal(a.pos, b.pos)
+        np.testing.assert_array_equal(a.vel, b.vel)
+
+    def test_different_seeds_differ(self):
+        a = plummer_model(64, seed=5)
+        b = plummer_model(64, seed=6)
+        assert not np.array_equal(a.pos, b.pos)
+
+    def test_half_mass_radius_matches_theory(self):
+        # Plummer half-mass radius: a / sqrt(2^(2/3) - 1) ~ 1.305 a
+        s = plummer_model(8192, seed=23)
+        r = np.sort(np.linalg.norm(s.pos, axis=1))
+        r_half = r[len(r) // 2]
+        expected = plummer_scale_radius() * 1.305
+        assert r_half == pytest.approx(expected, rel=0.1)
+
+    def test_truncation_radius_respected(self):
+        s = plummer_model(2048, seed=3, truncate_radius=10.0)
+        r = np.linalg.norm(s.pos + s.center_of_mass(), axis=1)
+        assert r.max() < 10.0 * plummer_scale_radius() * 1.1
+
+    def test_com_frame_default(self):
+        s = plummer_model(128, seed=2)
+        np.testing.assert_allclose(s.center_of_mass(), 0.0, atol=1e-12)
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            plummer_model(0)
+
+
+class TestKuiperModel:
+    def test_structure(self):
+        s = kuiper_belt_model(200, seed=1)
+        assert s.n == 201
+        assert s.mass[0] == pytest.approx(1.0)
+        assert np.all(s.mass[1:] == s.mass[1])
+        assert np.sum(s.mass[1:]) == pytest.approx(1.0e-4)
+
+    def test_annulus_and_flatness(self):
+        s = kuiper_belt_model(500, seed=2, r_inner=0.8, r_outer=1.2)
+        r = np.linalg.norm(s.pos[1:, :2], axis=1)
+        assert r.min() > 0.7
+        assert r.max() < 1.35
+        # near-coplanar: |z| << r
+        assert np.abs(s.pos[1:, 2]).max() < 0.1
+
+    def test_orbits_near_circular(self):
+        s = kuiper_belt_model(300, seed=3, ecc_sigma=0.01)
+        # specific energy ~ -1/(2a): all bound, near-Keplerian speeds
+        r = np.linalg.norm(s.pos[1:], axis=1)
+        v2 = np.einsum("ij,ij->i", s.vel[1:], s.vel[1:])
+        energy = 0.5 * v2 - 1.0 / r
+        assert np.all(energy < 0)
+        v_circ2 = 1.0 / r
+        assert np.median(np.abs(v2 / v_circ2 - 1.0)) < 0.1
+
+    def test_requires_particles(self):
+        with pytest.raises(ValueError):
+            kuiper_belt_model(0)
+
+
+class TestBinaryBlackHoleModel:
+    def test_masses(self):
+        s = binary_black_hole_model(100, seed=1, bh_mass_fraction=0.005)
+        assert s.n == 102
+        assert s.mass[-1] == pytest.approx(0.005)
+        assert s.mass[-2] == pytest.approx(0.005)
+        assert s.total_mass == pytest.approx(1.0)
+
+    def test_bhs_symmetric(self):
+        s = binary_black_hole_model(100, seed=1, separation=0.8)
+        sep = np.linalg.norm(s.pos[-1] - s.pos[-2])
+        assert sep == pytest.approx(0.8, rel=0.05)
+
+    def test_com_frame(self):
+        s = binary_black_hole_model(64, seed=4)
+        np.testing.assert_allclose(s.center_of_mass(), 0.0, atol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            binary_black_hole_model(1)
+        with pytest.raises(ValueError):
+            binary_black_hole_model(100, bh_mass_fraction=0.6)
+
+
+class TestAuxModels:
+    def test_uniform_sphere_virial(self):
+        s = uniform_sphere(2048, seed=9, virial_ratio=0.5)
+        t = kinetic_energy(s.vel, s.mass)
+        u = potential_energy(s.pos, s.mass, eps2=0.0)
+        assert -t / u == pytest.approx(0.5, abs=0.1)
+
+    def test_uniform_radius(self):
+        # the COM shift can push the extremes out slightly; allow the
+        # shift magnitude as slack
+        s = uniform_sphere(512, seed=9, radius=2.0)
+        r = np.linalg.norm(s.pos, axis=1)
+        assert r.max() <= 2.0 * 1.1
+
+    def test_cold_sphere_is_cold(self):
+        s = cold_sphere(128, seed=1)
+        assert np.all(s.vel == 0.0)

@@ -1,0 +1,194 @@
+"""Octree construction, multipole moments and Barnes-Hut forces."""
+
+import numpy as np
+import pytest
+
+from repro.forces import DirectSummation
+from repro.models import plummer_model
+from repro.treecode import Octree, TreeLeapfrog, tree_force
+from repro.treecode.performance import full_comparison, measure_tree_rate
+
+
+class TestOctreeConstruction:
+    def test_all_particles_in_leaves(self, medium_plummer):
+        tree = Octree(medium_plummer.pos, medium_plummer.mass, leaf_size=8)
+        collected = np.concatenate([tree.leaf_particles(l) for l in tree.leaves()])
+        np.testing.assert_array_equal(np.sort(collected), np.arange(256))
+
+    def test_leaf_size_respected(self, medium_plummer):
+        tree = Octree(medium_plummer.pos, medium_plummer.mass, leaf_size=8)
+        for leaf in tree.leaves():
+            assert tree.leaf_particles(leaf).size <= 8
+
+    def test_root_contains_everything(self, medium_plummer):
+        tree = Octree(medium_plummer.pos, medium_plummer.mass)
+        inside = np.all(
+            np.abs(medium_plummer.pos - tree.center[0]) <= tree.half_size[0] * 1.0001,
+            axis=1,
+        )
+        assert inside.all()
+
+    def test_children_within_parent(self, small_plummer):
+        tree = Octree(small_plummer.pos, small_plummer.mass, leaf_size=4)
+        for node in range(tree.n_nodes):
+            for child in tree.children_of(node):
+                assert tree.half_size[child] == pytest.approx(tree.half_size[node] / 2)
+                np.testing.assert_array_less(
+                    np.abs(tree.center[child] - tree.center[node]),
+                    tree.half_size[node],
+                )
+
+    def test_single_particle_tree(self):
+        tree = Octree(np.zeros((1, 3)), np.ones(1))
+        assert tree.n_nodes == 1
+        assert tree.is_leaf(0)
+
+    def test_coincident_particles_handled(self):
+        # identical coordinates cannot be split: max_depth leaf absorbs them
+        pos = np.zeros((20, 3))
+        tree = Octree(pos, np.ones(20), leaf_size=4, max_depth=5)
+        collected = np.concatenate([tree.leaf_particles(l) for l in tree.leaves()])
+        assert collected.size == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Octree(np.zeros((0, 3)), np.zeros(0))
+        with pytest.raises(ValueError):
+            Octree(np.zeros((3, 2)), np.ones(3))
+        with pytest.raises(ValueError):
+            Octree(np.zeros((3, 3)), np.ones(3), leaf_size=0)
+
+
+class TestMoments:
+    def test_root_monopole(self, medium_plummer):
+        tree = Octree(medium_plummer.pos, medium_plummer.mass)
+        assert tree.mass[0] == pytest.approx(medium_plummer.total_mass)
+        np.testing.assert_allclose(
+            tree.com[0], medium_plummer.center_of_mass(), atol=1e-12
+        )
+
+    def test_quadrupole_traceless(self, medium_plummer):
+        tree = Octree(medium_plummer.pos, medium_plummer.mass)
+        for node in range(tree.n_nodes):
+            assert np.trace(tree.quad[node]) == pytest.approx(0.0, abs=1e-10)
+
+    def test_quadrupole_symmetric(self, small_plummer):
+        tree = Octree(small_plummer.pos, small_plummer.mass)
+        for node in range(tree.n_nodes):
+            np.testing.assert_allclose(tree.quad[node], tree.quad[node].T, atol=1e-12)
+
+    def test_parallel_axis_consistency(self, small_plummer):
+        # internal-node moments must equal direct computation over
+        # their particles
+        tree = Octree(small_plummer.pos, small_plummer.mass, leaf_size=4)
+        # find an internal node
+        internal = next(n for n in range(tree.n_nodes) if not tree.is_leaf(n))
+        idx = self._collect(tree, internal)
+        m = small_plummer.mass[idx]
+        x = small_plummer.pos[idx]
+        com = m @ x / m.sum()
+        dx = x - com
+        r2 = np.einsum("ij,ij->i", dx, dx)
+        quad = 3 * np.einsum("i,ij,ik->jk", m, dx, dx) - np.einsum("i,i->", m, r2) * np.eye(3)
+        np.testing.assert_allclose(tree.quad[internal], quad, rtol=1e-9, atol=1e-12)
+
+    @staticmethod
+    def _collect(tree, node):
+        if tree.is_leaf(node):
+            return tree.leaf_particles(node)
+        return np.concatenate(
+            [TestMoments._collect(tree, c) for c in tree.children_of(node)]
+        )
+
+
+class TestTreeForce:
+    def test_error_decreases_with_theta(self, eps2):
+        s = plummer_model(512, seed=31)
+        tree = Octree(s.pos, s.mass)
+        ref = DirectSummation(eps2)
+        ref.set_j_particles(s.pos, s.vel, s.mass)
+        exact = ref.forces_on(s.pos, s.vel, np.arange(s.n))
+        errs = []
+        for theta in (1.0, 0.5, 0.25):
+            res = tree_force(tree, eps2, theta=theta)
+            err = np.median(
+                np.linalg.norm(res.acc - exact.acc, axis=1)
+                / np.linalg.norm(exact.acc, axis=1)
+            )
+            errs.append(err)
+        assert errs[0] > errs[1] > errs[2]
+        assert errs[2] < 2e-3
+
+    def test_quadrupole_improves_accuracy(self, eps2):
+        s = plummer_model(512, seed=32)
+        tree = Octree(s.pos, s.mass)
+        ref = DirectSummation(eps2)
+        ref.set_j_particles(s.pos, s.vel, s.mass)
+        exact = ref.forces_on(s.pos, s.vel, np.arange(s.n))
+
+        def med_err(**kw):
+            res = tree_force(tree, eps2, theta=0.6, **kw)
+            return np.median(
+                np.linalg.norm(res.acc - exact.acc, axis=1)
+                / np.linalg.norm(exact.acc, axis=1)
+            )
+
+        assert med_err(quadrupole=True) < med_err(quadrupole=False)
+
+    def test_small_theta_nearly_direct(self, eps2, small_plummer):
+        s = small_plummer
+        tree = Octree(s.pos, s.mass, leaf_size=8)
+        res = tree_force(tree, eps2, theta=1e-6)
+        ref = DirectSummation(eps2)
+        ref.set_j_particles(s.pos, s.vel, s.mass)
+        exact = ref.forces_on(s.pos, s.vel, np.arange(s.n))
+        np.testing.assert_allclose(res.acc, exact.acc, rtol=1e-10, atol=1e-12)
+
+    def test_interaction_count_below_n_squared(self, eps2):
+        s = plummer_model(1024, seed=33)
+        tree = Octree(s.pos, s.mass)
+        res = tree_force(tree, eps2, theta=0.75)
+        assert res.interactions < 1024 * 1024 / 2
+
+    def test_theta_validation(self, eps2, small_plummer):
+        tree = Octree(small_plummer.pos, small_plummer.mass)
+        with pytest.raises(ValueError):
+            tree_force(tree, eps2, theta=0.0)
+
+
+class TestTreeLeapfrog:
+    def test_energy_conservation(self, eps2):
+        s = plummer_model(256, seed=34)
+        from repro.forces.kernels import kinetic_energy, potential_energy
+
+        e0 = kinetic_energy(s.vel, s.mass) + potential_energy(s.pos, s.mass, eps2)
+        integ = TreeLeapfrog(s, eps2, dt=1.0 / 256.0, theta=0.4)
+        integ.run(0.25)
+        e1 = kinetic_energy(s.vel, s.mass) + potential_energy(s.pos, s.mass, eps2)
+        assert abs((e1 - e0) / e0) < 5e-3
+
+    def test_step_counters(self, eps2, small_plummer):
+        integ = TreeLeapfrog(small_plummer, eps2, dt=1.0 / 64.0)
+        integ.run(3.0 / 64.0)
+        assert integ.stats.steps == 3
+        assert integ.stats.particle_steps == 3 * 64
+
+    def test_rejects_bad_dt(self, eps2, small_plummer):
+        with pytest.raises(ValueError):
+            TreeLeapfrog(small_plummer, eps2, dt=0.0)
+
+
+class TestPerformanceComparison:
+    def test_paper_rows(self):
+        rows = dict((name, (rate, frac)) for name, rate, frac in full_comparison())
+        assert rows["grape-6"][1] == pytest.approx(1.0)
+        # "around 3% of the speed" before accuracy penalty; under 1% after
+        assert rows["gadget-t3e-16"][1] < 0.01
+        # "approximately 1/70 of the speed of GRAPE-6"
+        assert rows["asci-red-6800"][1] == pytest.approx(1 / 70.0, rel=0.15)
+
+    def test_measured_rate_positive(self, eps2):
+        s = plummer_model(256, seed=35)
+        rate = measure_tree_rate(s, eps2, steps=1)
+        assert rate.particle_steps_per_second > 0
+        assert rate.interactions_per_particle > 0

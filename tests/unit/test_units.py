@@ -1,0 +1,45 @@
+"""Heggie units and unit-system conversions."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestHeggieConstants:
+    def test_energy_is_minus_quarter(self):
+        assert units.HEGGIE_ENERGY == -0.25
+
+    def test_crossing_time(self):
+        assert units.HEGGIE_CROSSING_TIME == pytest.approx(2.0 * math.sqrt(2.0))
+
+    def test_plummer_scale_radius(self):
+        # a = 3 pi / 16 from E = -1/4 with U = -3 pi / (32 a)
+        a = units.plummer_scale_radius()
+        assert a == pytest.approx(3.0 * math.pi / 16.0)
+        u = -3.0 * math.pi / (32.0 * a)
+        assert u / 2.0 == pytest.approx(units.HEGGIE_ENERGY)
+
+
+class TestUnitSystem:
+    def test_time_unit_follows_kepler(self):
+        us = units.UnitSystem(mass_kg=units.MSUN_KG, length_m=units.AU_M)
+        # orbital period at 1 AU is one year: t_unit = year / (2 pi)
+        year = 2.0 * math.pi * us.time_s
+        assert year == pytest.approx(units.YEAR_S, rel=0.01)
+
+    def test_roundtrip_time_conversion(self):
+        us = units.star_cluster_units()
+        t = 3.7
+        assert us.to_nbody_time(us.to_physical_time(t)) == pytest.approx(t)
+
+    def test_velocity_unit_consistency(self):
+        us = units.UnitSystem(mass_kg=1.0e30, length_m=1.0e12)
+        assert us.velocity_ms == pytest.approx(us.length_m / us.time_s)
+
+    def test_kuiper_units_scale(self):
+        us = units.kuiper_units(central_mass_msun=1.0, disc_radius_au=40.0)
+        # period at 40 AU ~ 40^1.5 years ~ 253 yr
+        period_years = 2.0 * math.pi * us.time_s / units.YEAR_S
+        assert period_years == pytest.approx(40.0**1.5, rel=0.02)
