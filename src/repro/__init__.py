@@ -12,13 +12,17 @@ The package provides four layers:
 * :mod:`repro.parallel` — a virtual-time message-passing substrate with
   the paper's parallel algorithms (copy / ring / 2-D hybrid);
 * :mod:`repro.perfmodel` — the performance model and discrete-event
-  simulator that regenerate every figure of the paper's evaluation.
+  simulator that regenerate every figure of the paper's evaluation;
+* :mod:`repro.telemetry` — tracing, metrics and phase attribution that
+  measure the real code paths the way section 4 measured the machine
+  (``T_host`` / ``T_pipe`` / ``T_comm`` / ``T_barrier``).
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.
 """
 
 from . import constants
+from . import telemetry
 from .config import (
     BoardConfig,
     ChipConfig,
@@ -57,6 +61,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "constants",
+    "telemetry",
     "ChipConfig",
     "BoardConfig",
     "NodeConfig",

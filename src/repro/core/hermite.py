@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..forces.direct import DirectSummation, ForceBackend
+from ..telemetry import T_HOST, T_PIPE, Tracer, get_tracer
 from .corrector import hermite_correct
 from .particles import ParticleSystem
 from .predictor import predict_hermite
@@ -45,6 +46,9 @@ class HermiteIntegrator:
         Force backend; defaults to float64 direct summation.
     dt_max:
         Cap on the shared step.
+    tracer:
+        Telemetry tracer (defaults to the process-wide one, disabled
+        unless the application opted in).
     """
 
     def __init__(
@@ -54,6 +58,7 @@ class HermiteIntegrator:
         eta: float = DEFAULT_ETA,
         backend: ForceBackend | None = None,
         dt_max: float = 0.125,
+        tracer: Tracer | None = None,
     ) -> None:
         self.system = system
         self.eps2 = float(eps2)
@@ -62,15 +67,23 @@ class HermiteIntegrator:
         self.dt_max = float(dt_max)
         self.t = 0.0
         self.stats = SharedStepStatistics()
+        self._tracer = tracer
         self._initialize_forces()
+
+    @property
+    def tracer(self) -> Tracer:
+        tracer = getattr(self, "_tracer", None)
+        return tracer if tracer is not None else get_tracer()
 
     def _all_indices(self) -> np.ndarray:
         return np.arange(self.system.n)
 
     def _initialize_forces(self) -> None:
         s = self.system
-        self.backend.set_j_particles(s.pos, s.vel, s.mass)
-        res = self.backend.forces_on(s.pos, s.vel, self._all_indices())
+        with self.tracer.span("force", phase=T_PIPE, n_i=s.n, startup=True):
+            self.backend.set_j_particles(s.pos, s.vel, s.mass)
+            res = self.backend.forces_on(s.pos, s.vel, self._all_indices())
+        self.tracer.count("core.interactions", res.interactions)
         s.acc[...] = res.acc
         s.jerk[...] = res.jerk
         s.pot[...] = res.pot
@@ -87,30 +100,38 @@ class HermiteIntegrator:
     def step(self) -> float:
         """Advance all particles by one shared step; returns new time."""
         s = self.system
-        dt = self._shared_dt()
-        t_new = self.t + dt
+        tracer = self.tracer
+        with tracer.span("step", phase=T_HOST, n=s.n):
+            with tracer.span("timestep"):
+                dt = self._shared_dt()
+            t_new = self.t + dt
 
-        xp, vp = predict_hermite(t_new, s.t, s.pos, s.vel, s.acc, s.jerk)
-        self.backend.set_j_particles(xp, vp, s.mass)
-        res = self.backend.forces_on(xp, vp, self._all_indices())
+            with tracer.span("predict"):
+                xp, vp = predict_hermite(t_new, s.t, s.pos, s.vel, s.acc, s.jerk)
+            with tracer.span("force", phase=T_PIPE, n_i=s.n):
+                self.backend.set_j_particles(xp, vp, s.mass)
+                res = self.backend.forces_on(xp, vp, self._all_indices())
 
-        corr = hermite_correct(
-            np.full(s.n, dt), xp, vp, s.acc, s.jerk, res.acc, res.jerk
-        )
-        s.pos[...] = corr.pos
-        s.vel[...] = corr.vel
-        s.acc[...] = res.acc
-        s.jerk[...] = res.jerk
-        s.snap[...] = corr.snap_end
-        s.crackle[...] = corr.crackle
-        s.pot[...] = res.pot
-        s.t[...] = t_new
-        s.dt[...] = dt
+            with tracer.span("correct"):
+                corr = hermite_correct(
+                    np.full(s.n, dt), xp, vp, s.acc, s.jerk, res.acc, res.jerk
+                )
+                s.pos[...] = corr.pos
+                s.vel[...] = corr.vel
+                s.acc[...] = res.acc
+                s.jerk[...] = res.jerk
+                s.snap[...] = corr.snap_end
+                s.crackle[...] = corr.crackle
+                s.pot[...] = res.pot
+                s.t[...] = t_new
+                s.dt[...] = dt
 
         self.t = t_new
         self.stats.steps += 1
         self.stats.particle_steps += s.n
         self.stats.interactions += res.interactions
+        tracer.count("core.interactions", res.interactions)
+        tracer.count("core.particle_steps", s.n)
         return self.t
 
     def run(self, t_end: float) -> SharedStepStatistics:

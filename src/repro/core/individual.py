@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..forces.direct import DirectSummation, ForceBackend
+from ..telemetry import T_HOST, T_PIPE, Tracer, get_tracer
 from .corrector import hermite_correct
 from .particles import ParticleSystem
 from .predictor import predict_hermite, predict_taylor
@@ -85,6 +86,10 @@ class BlockTimestepIntegrator:
         Block-hierarchy bounds.
     record_block_sizes:
         Keep the per-blockstep size trace (cheap; on by default).
+    tracer:
+        Telemetry tracer; defaults to the process-wide tracer (which is
+        disabled unless the application opted in), so the spans below
+        cost one attribute test per phase per blockstep when off.
     """
 
     def __init__(
@@ -97,6 +102,7 @@ class BlockTimestepIntegrator:
         dt_max: float = 0.125,
         dt_min: float = 2.0**-40,
         record_block_sizes: bool = True,
+        tracer: Tracer | None = None,
     ) -> None:
         self.system = system
         self.eps2 = float(eps2)
@@ -106,6 +112,7 @@ class BlockTimestepIntegrator:
         self.dt_max = float(dt_max)
         self.dt_min = float(dt_min)
         self.record_block_sizes = record_block_sizes
+        self._tracer = tracer
         self.t = 0.0
         self.stats = StepStatistics()
 
@@ -117,12 +124,25 @@ class BlockTimestepIntegrator:
         self._initialize()
         self.scheduler = BlockScheduler(system.t, system.dt)
 
+    @property
+    def tracer(self) -> Tracer:
+        """The effective tracer (explicit one, else the process default).
+
+        Tolerates instances assembled without ``__init__`` (the
+        snapshot-restart path rebuilds integrators attribute by
+        attribute).
+        """
+        tracer = getattr(self, "_tracer", None)
+        return tracer if tracer is not None else get_tracer()
+
     # -- startup ------------------------------------------------------------
 
     def _initialize(self) -> None:
         s = self.system
-        self.backend.set_j_particles(s.pos, s.vel, s.mass)
-        res = self.backend.forces_on(s.pos, s.vel, np.arange(s.n))
+        with self.tracer.span("force", phase=T_PIPE, n_i=s.n, startup=True):
+            self.backend.set_j_particles(s.pos, s.vel, s.mass)
+            res = self.backend.forces_on(s.pos, s.vel, np.arange(s.n))
+        self.tracer.count("core.interactions", res.interactions)
         s.acc[...] = res.acc
         s.jerk[...] = res.jerk
         s.pot[...] = res.pot
@@ -139,40 +159,49 @@ class BlockTimestepIntegrator:
     def step(self) -> tuple[float, int]:
         """Advance one blockstep; returns (new system time, block size)."""
         s = self.system
+        tracer = self.tracer
         t_block, block = self.scheduler.next_block()
 
-        # Predict everything to the block time.  Hardware analogue: the
-        # predictor pipelines extrapolate the j-memory contents; the
-        # host predicts the i-particles it is about to correct.
-        xp, vp = predict_hermite(
-            t_block, s.t, s.pos, s.vel, s.acc, s.jerk, self._xp, self._vp
-        )
-        self.backend.set_j_particles(xp, vp, s.mass)
-        res = self.backend.forces_on(xp[block], vp[block], block)
+        with tracer.span("blockstep", phase=T_HOST, n_block=block.size):
+            # Predict everything to the block time.  Hardware analogue:
+            # the predictor pipelines extrapolate the j-memory contents;
+            # the host predicts the i-particles it is about to correct.
+            with tracer.span("predict"):
+                xp, vp = predict_hermite(
+                    t_block, s.t, s.pos, s.vel, s.acc, s.jerk, self._xp, self._vp
+                )
+            with tracer.span("force", phase=T_PIPE, n_i=block.size):
+                self.backend.set_j_particles(xp, vp, s.mass)
+                res = self.backend.forces_on(xp[block], vp[block], block)
 
-        dt_block = t_block - s.t[block]
-        corr = hermite_correct(
-            dt_block, xp[block], vp[block], s.acc[block], s.jerk[block], res.acc, res.jerk
-        )
-        s.pos[block] = corr.pos
-        s.vel[block] = corr.vel
-        s.acc[block] = res.acc
-        s.jerk[block] = res.jerk
-        s.snap[block] = corr.snap_end
-        s.crackle[block] = corr.crackle
-        s.pot[block] = res.pot
-        s.t[block] = t_block
+            with tracer.span("correct"):
+                dt_block = t_block - s.t[block]
+                corr = hermite_correct(
+                    dt_block, xp[block], vp[block],
+                    s.acc[block], s.jerk[block], res.acc, res.jerk,
+                )
+                s.pos[block] = corr.pos
+                s.vel[block] = corr.vel
+                s.acc[block] = res.acc
+                s.jerk[block] = res.jerk
+                s.snap[block] = corr.snap_end
+                s.crackle[block] = corr.crackle
+                s.pot[block] = res.pot
+                s.t[block] = t_block
 
-        dt_ideal = aarseth_dt(res.acc, res.jerk, corr.snap_end, corr.crackle, self.eta)
-        dt_new = quantize_block_dt(
-            dt_ideal,
-            t_block,
-            dt_old=np.asarray(dt_block),
-            dt_max=self.dt_max,
-            dt_min=self.dt_min,
-        )
-        s.dt[block] = dt_new
-        self.scheduler.update(block, t_block, dt_new)
+                dt_ideal = aarseth_dt(
+                    res.acc, res.jerk, corr.snap_end, corr.crackle, self.eta
+                )
+                dt_new = quantize_block_dt(
+                    dt_ideal,
+                    t_block,
+                    dt_old=np.asarray(dt_block),
+                    dt_max=self.dt_max,
+                    dt_min=self.dt_min,
+                )
+            with tracer.span("schedule"):
+                s.dt[block] = dt_new
+                self.scheduler.update(block, t_block, dt_new)
 
         n_b = block.size
         self.t = t_block
@@ -181,6 +210,9 @@ class BlockTimestepIntegrator:
         self.stats.interactions += res.interactions
         if self.record_block_sizes:
             self.stats.block_sizes.append(n_b)
+        tracer.observe("core.block_size", n_b)
+        tracer.count("core.interactions", res.interactions)
+        tracer.count("core.particle_steps", n_b)
         return t_block, n_b
 
     def run(self, t_end: float, max_blocksteps: int | None = None) -> StepStatistics:

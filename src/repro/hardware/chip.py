@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..config import ChipConfig
+from ..telemetry import get_tracer
 from .blockfloat import BlockFloatAccumulator
 from .fixedpoint import exact_int_sum
 from .memory import JParticleMemory
@@ -132,6 +133,7 @@ class GrapeChip:
         jerk_out = np.empty((n_i, 3), dtype=object)
         pot_out = np.empty(n_i, dtype=object)
 
+        cycles_before = self.cycles
         stride = self.config.iparallel
         for lo in range(0, n_i, stride):
             hi = min(lo + stride, n_i)
@@ -165,6 +167,11 @@ class GrapeChip:
             # cycle accounting: one pass streams the whole memory; the
             # 8-way VMP spends vmp_ways clocks per j-particle per pass
             self.cycles += self.config.vmp_ways * n_j
+
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.count("grape.pipeline_passes", -(-n_i // stride))
+            tracer.count("grape.cycles", self.cycles - cycles_before)
 
         return PartialForce(acc=acc_out, jerk=jerk_out, pot=pot_out)
 

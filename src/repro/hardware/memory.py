@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..telemetry import get_tracer
 from .fixedpoint import FixedPointFormat
 from .floatformat import FloatFormat
 
@@ -85,6 +86,7 @@ class JParticleMemory:
         self.jerk = self.word_format.round(jdot) if jdot is not None else zeros.copy()
         self.snap = self.word_format.round(snap) if snap is not None else zeros.copy()
         self.t0 = np.asarray(t0, dtype=np.float64).copy() if t0 is not None else np.zeros(n)
+        get_tracer().count("grape.jmem_writes", n)
 
     def __len__(self) -> int:
         return self.n

@@ -27,6 +27,7 @@ import numpy as np
 
 from ..config import BoardConfig
 from ..forces.kernels import ForceJerkResult
+from ..telemetry import T_PIPE, get_tracer
 from .blockfloat import BlockFloatAccumulator, BlockFloatOverflow, suggest_exponent
 from .board import ProcessorBoard
 from .chip import BlockExponents
@@ -101,18 +102,24 @@ class Grape6Emulator:
         current time (the integrator's convention); hardware-accurate
         predictor mode is exercised through :meth:`load_predictor_data`.
         """
-        x = np.asarray(x, dtype=np.float64)
-        v = np.asarray(v, dtype=np.float64)
-        m = np.asarray(m, dtype=np.float64)
-        n = x.shape[0]
-        self._n_j = n
-        self._mass_total = float(m.sum())
-        self._j_com = (m @ x) / self._mass_total if self._mass_total > 0 else np.zeros(3)
-        k = self.n_chips
-        for c, chip in enumerate(self._all_chips):
-            idx = np.arange(c, n, k)
-            chip.load_j_particles(idx, x[idx], v[idx], m[idx])
+        tracer = get_tracer()
+        with tracer.span("grape.jmem_load", phase=T_PIPE, n_j=x.shape[0]):
+            x = np.asarray(x, dtype=np.float64)
+            v = np.asarray(v, dtype=np.float64)
+            m = np.asarray(m, dtype=np.float64)
+            n = x.shape[0]
+            self._n_j = n
+            self._mass_total = float(m.sum())
+            self._j_com = (
+                (m @ x) / self._mass_total if self._mass_total > 0 else np.zeros(3)
+            )
+            k = self.n_chips
+            for c, chip in enumerate(self._all_chips):
+                idx = np.arange(c, n, k)
+                chip.load_j_particles(idx, x[idx], v[idx], m[idx])
         self.stats.jmem_loads += 1
+        tracer.count("grape.jmem_loads")
+        tracer.gauge("grape.jmem_used", self.jmem_used)
 
     def forces_on(
         self,
@@ -127,29 +134,39 @@ class Grape6Emulator:
         vi = np.asarray(vi, dtype=np.float64)
         n_i = xi.shape[0]
 
-        xi_q = self.formats.pos.quantize(xi)
-        vi_w = self.formats.word.round(vi)
+        tracer = get_tracer()
+        with tracer.span("grape.force", phase=T_PIPE, n_i=n_i, n_j=self._n_j) as span:
+            xi_q = self.formats.pos.quantize(xi)
+            vi_w = self.formats.word.round(vi)
 
-        i_index = np.asarray(indices, dtype=np.int64) if indices is not None else None
-        exponents = self._initial_exponents(xi, vi, indices)
-        for attempt in range(16):
-            try:
-                partial = reduce_partials(
-                    board.partial_forces(xi_q, vi_w, exponents, i_index=i_index)
-                    for board in self.boards
-                )
-                acc, jerk, pot = self._to_float(partial, exponents)
-                break
-            except BlockFloatOverflow:
-                self.stats.exponent_retries += 1
-                exponents = exponents.bump(8)
-        else:  # pragma: no cover - 16 bumps of 8 cover the whole float range
-            raise BlockFloatOverflow("exponent retry loop failed to converge")
+            i_index = (
+                np.asarray(indices, dtype=np.int64) if indices is not None else None
+            )
+            exponents = self._initial_exponents(xi, vi, indices)
+            retries = 0
+            for attempt in range(16):
+                try:
+                    partial = reduce_partials(
+                        board.partial_forces(xi_q, vi_w, exponents, i_index=i_index)
+                        for board in self.boards
+                    )
+                    acc, jerk, pot = self._to_float(partial, exponents)
+                    break
+                except BlockFloatOverflow:
+                    self.stats.exponent_retries += 1
+                    retries += 1
+                    exponents = exponents.bump(8)
+            else:  # pragma: no cover - 16 bumps of 8 cover the whole float range
+                raise BlockFloatOverflow("exponent retry loop failed to converge")
+            if retries:
+                span.set(exponent_retries=retries)
+                tracer.count("grape.exponent_retries", retries)
 
         self._remember_exponents(indices, exponents)
         self.stats.force_evaluations += 1
         interactions = n_i * self._n_j - (n_i if indices is not None else 0)
         self.stats.interactions += interactions
+        tracer.count("grape.interactions", interactions)
         return ForceJerkResult(acc=acc, jerk=jerk, pot=pot, interactions=interactions)
 
     # -- exponent management ---------------------------------------------------

@@ -1,7 +1,7 @@
 """Snapshot I/O, run logging and table formatting."""
 
 from .snapshot import read_snapshot, write_snapshot
-from .runlog import RunLogger, read_runlog
+from .runlog import RunLogger, read_runlog, read_runlog_records
 from .tables import format_table
 
 __all__ = [
@@ -9,5 +9,6 @@ __all__ = [
     "read_snapshot",
     "RunLogger",
     "read_runlog",
+    "read_runlog_records",
     "format_table",
 ]

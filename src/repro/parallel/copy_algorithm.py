@@ -118,6 +118,7 @@ class CopyAlgorithm:
         if self.p == 1:
             return
         shares = [self.share(block, rank) for rank in range(self.p)]
+        self.network.tracer.count("net.exchange_particles", int(block.size))
         # ring allgather: at shift s each rank forwards the share that
         # originated s-1 hops upstream, so after p-1 shifts everyone
         # has every share; each message carries that share's actual size

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from ..core.individual import BlockTimestepIntegrator, StepStatistics
 from ..core.particles import ParticleSystem
+from ..telemetry import T_COMM
 
 
 class ParallelBlockIntegrator(BlockTimestepIntegrator):
@@ -42,7 +43,8 @@ class ParallelBlockIntegrator(BlockTimestepIntegrator):
         # capture the block before the parent mutates the schedule
         _, block = self.scheduler.next_block()
         result = super().step()
-        self.algorithm.exchange_updated(block)
+        with self.tracer.span("net.exchange", phase=T_COMM, n_block=block.size):
+            self.algorithm.exchange_updated(block)
         del t_block
         return result
 

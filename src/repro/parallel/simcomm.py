@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..config import NICConfig, NIC_NS83820
+from ..telemetry import T_BARRIER, Tracer, get_tracer
 from .virtualtime import VirtualClock
 
 
@@ -62,6 +63,12 @@ class SimNetwork:
         Host-side protocol overhead charged to the sender per message
         (TCP/IP stack traversal), included in the latency figure by
         default.
+    tracer:
+        Telemetry tracer; defaults to the process-wide one.  Wire the
+        tracer's ``virtual_clock`` to ``network.clock.elapsed`` (as
+        :meth:`attach_tracer` does) to get virtual-time attribution of
+        communication and barrier spans — the quantity figs. 16/18
+        plot.
     """
 
     def __init__(
@@ -69,12 +76,25 @@ class SimNetwork:
         n_ranks: int,
         nic: NICConfig = NIC_NS83820,
         per_message_overhead_us: float = 0.0,
+        tracer: Tracer | None = None,
     ) -> None:
         self.clock = VirtualClock(n_ranks)
         self.nic = nic
         self.overhead_us = float(per_message_overhead_us)
         self.stats = MessageStats()
+        self._tracer = tracer
         self._mailbox: dict[tuple[int, int, int], deque] = {}
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer if self._tracer is not None else get_tracer()
+
+    def attach_tracer(self, tracer: Tracer) -> Tracer:
+        """Bind a tracer to this network and point its virtual clock at
+        the network's :class:`VirtualClock`; returns the tracer."""
+        tracer.virtual_clock = lambda: self.clock.elapsed
+        self._tracer = tracer
+        return tracer
 
     @property
     def n_ranks(self) -> int:
@@ -94,9 +114,16 @@ class SimNetwork:
         """Non-blocking send: deposits the payload with its arrival time."""
         if src == dst:
             raise ValueError("self-sends are not modelled")
-        t_arrive = self.clock.now(src) + self.message_time_us(nbytes)
+        flight_us = self.message_time_us(nbytes)
+        t_arrive = self.clock.now(src) + flight_us
         self._mailbox.setdefault((src, dst, tag), deque()).append((t_arrive, payload))
         self.stats.record(nbytes)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.count("net.messages")
+            tracer.count("net.bytes", nbytes)
+            tracer.observe("net.message_bytes", nbytes)
+            tracer.observe("net.message_us", flight_us)
 
     def recv(self, dst: int, src: int, tag: int = 0) -> Any:
         """Blocking receive: advances the receiver to the arrival time."""
@@ -104,7 +131,11 @@ class SimNetwork:
         if not queue:
             raise RuntimeError(f"no message from {src} to {dst} with tag {tag}")
         t_arrive, payload = queue.popleft()
+        wait_us = t_arrive - self.clock.now(dst)
         self.clock.wait_until(dst, t_arrive)
+        tracer = self.tracer
+        if tracer.enabled and wait_us > 0:
+            tracer.observe("net.recv_wait_us", wait_us)
         return payload
 
     # -- collectives ------------------------------------------------------------
@@ -119,15 +150,23 @@ class SimNetwork:
         p = self.n_ranks
         if p == 1:
             return
-        k = 1
-        while k < p:
-            for r in range(p):
-                self.send(r, (r + k) % p, None, 16, tag=-1 - k)
-            for r in range(p):
-                self.recv(r, (r - k) % p, tag=-1 - k)
-            k *= 2
-        self.clock.synchronize()
+        tracer = self.tracer
+        rounds = 0
+        with tracer.span("net.barrier", phase=T_BARRIER, p=p) as span:
+            k = 1
+            while k < p:
+                for r in range(p):
+                    self.send(r, (r + k) % p, None, 16, tag=-1 - k)
+                for r in range(p):
+                    self.recv(r, (r - k) % p, tag=-1 - k)
+                k *= 2
+                rounds += 1
+            self.clock.synchronize()
+            span.set(rounds=rounds)
         self.stats.barriers += 1
+        if tracer.enabled:
+            tracer.count("net.barriers")
+            tracer.count("net.barrier_rounds", rounds)
 
     def bcast(self, root: int, payload: Any, nbytes: int) -> list[Any]:
         """Binomial-tree broadcast; returns the payload as seen by each rank."""

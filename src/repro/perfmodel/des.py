@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..telemetry import T_HOST, get_tracer
 from .blockstats import BLOCK_MODELS, BlockStatModel
 from .flops import speed_gflops
 from .machine_model import MachineModel
@@ -142,20 +143,28 @@ class BlockstepDES:
 
     def run(self, n: int, population: LevelPopulation | None = None) -> DESResult:
         """Evaluate the blockstep schedule for system size N."""
-        pop = (
-            population
-            if population is not None
-            else LevelPopulation.from_block_model(n, self.model.blocks)
-        )
-        census = pop.block_census()
-        wall_us = 0.0
-        blocksteps = 0.0
-        psteps = 0.0
-        for _, rate, n_b in census:
-            wall_us += rate * self.model.blockstep_us(n, n_b)
-            blocksteps += rate
-            psteps += rate * n_b
-        t_step = wall_us / psteps
+        tracer = get_tracer()
+        with tracer.span("des.run", phase=T_HOST, n=n):
+            pop = (
+                population
+                if population is not None
+                else LevelPopulation.from_block_model(n, self.model.blocks)
+            )
+            census = pop.block_census()
+            wall_us = 0.0
+            blocksteps = 0.0
+            psteps = 0.0
+            for _, rate, n_b in census:
+                wall_us += rate * self.model.blockstep_us(n, n_b)
+                blocksteps += rate
+                psteps += rate * n_b
+            t_step = wall_us / psteps
+        if tracer.enabled:
+            tracer.count("des.evaluations")
+            tracer.count("des.census_entries", len(census))
+            tracer.count("des.blocksteps_per_unit_time", blocksteps)
+            for _, rate, n_b in census:
+                tracer.observe("des.block_size", n_b)
         return DESResult(
             n=n,
             time_per_step_us=t_step,

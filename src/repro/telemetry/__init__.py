@@ -1,0 +1,84 @@
+"""Unified tracing, metrics and phase attribution.
+
+The paper's evaluation method *is* instrumentation: attribute every
+microsecond of a run to host computation (``T_host``), GRAPE pipeline
+time (``T_pipe``/``T_GRAPE``), communication (``T_comm``) and
+synchronisation (``T_barrier``), then tune the dominant term (that is
+how the NS 83820 -> Intel 82540EM NIC swap of section 4.4 was found).
+This package makes the same attribution observable on the
+reproduction's real code paths:
+
+* :class:`Tracer` — span context managers with wall- and virtual-clock
+  timestamps, near-free when disabled (the default);
+* :class:`Metrics` — counters/gauges/histograms for run quantities
+  (block sizes, interactions, bytes per message, exponent retries);
+* :class:`PhaseAggregator` — rolls spans up into the section-4
+  taxonomy and :func:`render_breakdown` prints the fig. 14/16/18-style
+  budget;
+* sinks — in-memory, crash-safe JSONL (through
+  :mod:`repro.io.runlog`), and streaming summary.
+
+Quick start::
+
+    from repro import telemetry
+
+    sink = telemetry.InMemorySink()
+    tracer = telemetry.configure(sinks=[sink])   # enables globally
+    ...  # run an integrator / emulator / simcomm workload
+    breakdown = telemetry.PhaseAggregator().consume(sink.events).breakdown()
+    print(telemetry.render_breakdown(breakdown))
+"""
+
+# import order matters: tracer/phases must land in the package
+# namespace before report/sinks pull in repro.io (which closes an
+# import cycle back through repro.core's instrumented integrators)
+from .metrics import Counter, Gauge, Histogram, Metrics
+from .tracer import SpanEvent, Tracer, configure, get_tracer, set_tracer
+from .phases import (
+    DEFAULT_SPAN_PHASES,
+    PAPER_PHASE_NAMES,
+    PHASES,
+    T_BARRIER,
+    T_COMM,
+    T_HOST,
+    T_OTHER,
+    T_PIPE,
+    PhaseAggregator,
+    PhaseBreakdown,
+    PhaseTotals,
+    SpanSummary,
+)
+from .report import breakdown_json, render_breakdown, render_metrics
+from .sinks import InMemorySink, JSONLSink, Sink, SummarySink, read_spans
+
+__all__ = [
+    "Tracer",
+    "SpanEvent",
+    "get_tracer",
+    "set_tracer",
+    "configure",
+    "Metrics",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "PhaseAggregator",
+    "PhaseBreakdown",
+    "PhaseTotals",
+    "SpanSummary",
+    "PHASES",
+    "PAPER_PHASE_NAMES",
+    "DEFAULT_SPAN_PHASES",
+    "T_HOST",
+    "T_PIPE",
+    "T_COMM",
+    "T_BARRIER",
+    "T_OTHER",
+    "Sink",
+    "InMemorySink",
+    "JSONLSink",
+    "SummarySink",
+    "read_spans",
+    "render_breakdown",
+    "render_metrics",
+    "breakdown_json",
+]

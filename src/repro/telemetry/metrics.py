@@ -1,0 +1,154 @@
+"""Counters, gauges and histograms for run-level quantities.
+
+The paper's analysis rests on a handful of distributions and counters
+measured from real runs: the block-size distribution (sets the
+communication efficiency of figs. 13-18), interactions per step (the
+flops accounting of eq. 9), bytes per NIC message and exponent-retry
+counts.  :class:`Metrics` is the registry those instruments live in;
+instances are cheap plain-Python objects so the registry can stay
+attached to the (possibly disabled) tracer at all times.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterator
+
+
+class Counter:
+    """Monotonically increasing count (interactions, messages, retries)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up")
+        self.value += n
+
+
+class Gauge:
+    """Last-value instrument (j-memory occupancy, current N, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming distribution: moments, extrema and power-of-two bins.
+
+    The bin layout matches the quantity the paper histograms most —
+    block sizes, which live on power-of-two timestep levels — but works
+    for any positive-ish measurement (message bytes, latencies).
+    Values <= 1 land in bin 0; value v lands in bin
+    ``1 + floor(log2(v))`` otherwise.
+    """
+
+    __slots__ = ("name", "count", "total", "sq_total", "min", "max", "bins")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count: int = 0
+        self.total: float = 0.0
+        self.sq_total: float = 0.0
+        self.min: float = math.inf
+        self.max: float = -math.inf
+        self.bins: dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        self.count += 1
+        self.total += v
+        self.sq_total += v * v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+        b = 0 if v <= 1.0 else 1 + int(math.floor(math.log2(v)))
+        self.bins[b] = self.bins.get(b, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def std(self) -> float:
+        if self.count < 2:
+            return 0.0
+        var = self.sq_total / self.count - self.mean**2
+        return math.sqrt(max(var, 0.0))
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
+
+class Metrics:
+    """Get-or-create registry of named instruments.
+
+    A name identifies exactly one instrument; asking for the same name
+    with a different type is an error (it would silently split data).
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls):
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = cls(name)
+            self._instruments[name] = inst
+        elif not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(inst).__name__}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __iter__(self) -> Iterator[Counter | Gauge | Histogram]:
+        return iter(self._instruments.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready dump of every instrument's current state."""
+        out: dict[str, Any] = {}
+        for name, inst in sorted(self._instruments.items()):
+            if isinstance(inst, Counter):
+                out[name] = {"type": "counter", "value": inst.value}
+            elif isinstance(inst, Gauge):
+                out[name] = {"type": "gauge", "value": inst.value}
+            else:
+                out[name] = {
+                    "type": "histogram",
+                    **inst.summary(),
+                    "bins": {str(k): v for k, v in sorted(inst.bins.items())},
+                }
+        return out
+
+    def reset(self) -> None:
+        self._instruments.clear()

@@ -56,6 +56,15 @@ class TestExamplesRun:
         out = run_example("parallel_scaling.py", capsys=capsys)
         assert "crossover" in out
 
+    def test_telemetry_demo(self, capsys):
+        out = run_example("telemetry_demo.py", "24", capsys=capsys)
+        # the paper's phase taxonomy, both clock domains, and metrics
+        assert "T_host" in out and "T_pipe" in out
+        assert "T_comm" in out and "T_barrier" in out
+        assert "virtual [ms]" in out
+        assert "core.block_size" in out
+        assert "net.messages" in out
+
     @pytest.mark.parametrize(
         "name,args",
         [("star_cluster.py", ("64",)), ("planetesimal_accretion.py", ("40",))],

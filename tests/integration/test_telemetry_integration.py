@@ -1,0 +1,198 @@
+"""Telemetry over the real code paths: integrators, emulated hardware
+and the simulated parallel machine.
+
+These are the acceptance tests of the subsystem: a Hermite + emulator
++ simcomm run must produce the paper's T_host/T_pipe/T_comm/T_barrier
+attribution, and the permanently-instrumented hot paths must cost <5%
+when tracing is off (the production default)."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.core.hermite import HermiteIntegrator
+from repro.core.individual import BlockTimestepIntegrator
+from repro.hardware.system import Grape6Emulator
+from repro.models import plummer_model
+from repro.parallel.copy_algorithm import CopyAlgorithm
+from repro.parallel.driver import ParallelBlockIntegrator
+from repro.parallel.simcomm import SimNetwork
+from repro.telemetry import (
+    InMemorySink,
+    PhaseAggregator,
+    T_BARRIER,
+    T_COMM,
+    T_HOST,
+    T_PIPE,
+    Tracer,
+    get_tracer,
+    render_breakdown,
+    set_tracer,
+)
+from tests.conftest import EPS2
+
+
+@pytest.fixture
+def enabled_tracer():
+    """Globally-enabled tracer with an in-memory sink, restored after."""
+    sink = InMemorySink()
+    tracer = Tracer(enabled=True, sinks=[sink])
+    old = set_tracer(tracer)
+    yield tracer, sink
+    set_tracer(old)
+
+
+class TestEmulatedRunBreakdown:
+    def test_hermite_on_emulator_attributes_host_and_pipe(self, enabled_tracer):
+        tracer, sink = enabled_tracer
+        system = plummer_model(32, seed=11)
+        integ = BlockTimestepIntegrator(
+            system, eps2=EPS2, backend=Grape6Emulator(EPS2, boards=1)
+        )
+        integ.run(0.03125)
+        assert integ.stats.blocksteps > 0
+
+        b = PhaseAggregator().consume(sink.events).breakdown()
+        # both paper phases observed, nothing lost to "other"
+        assert b.wall.totals[T_HOST] > 0.0
+        assert b.wall.totals[T_PIPE] > 0.0
+        assert b.wall.totals["other"] == 0.0
+        # the bit-level emulator dominates, as T_GRAPE would
+        assert b.wall.totals[T_PIPE] > b.wall.totals[T_HOST]
+        # attribution conserves time: phases sum to the root spans
+        roots = sum(e.dur_us for e in sink.events if e.parent_id is None)
+        assert b.wall.total_us == pytest.approx(roots, rel=1e-9)
+
+        # metrics captured the run quantities the paper histograms
+        metrics = tracer.metrics
+        assert metrics.counter("core.interactions").value == integ.stats.interactions
+        hist = metrics.histogram("core.block_size")
+        assert hist.count == integ.stats.blocksteps
+        assert hist.mean == pytest.approx(integ.stats.mean_block_size)
+        assert metrics.counter("grape.exponent_retries").value == (
+            integ.backend.stats.exponent_retries
+        )
+
+        report = render_breakdown(b)
+        assert "T_host" in report and "T_pipe" in report
+
+    def test_shared_hermite_instrumented(self, enabled_tracer):
+        _, sink = enabled_tracer
+        system = plummer_model(32, seed=3)
+        integ = HermiteIntegrator(system, eps2=EPS2)
+        for _ in range(3):
+            integ.step()
+        names = {e.name for e in sink.events}
+        assert {"step", "predict", "force", "correct", "timestep"} <= names
+
+
+class TestParallelRunBreakdown:
+    def test_simcomm_run_attributes_comm_and_barrier(self):
+        sink = InMemorySink()
+        tracer = Tracer(enabled=True, sinks=[sink])
+        old = set_tracer(tracer)
+        try:
+            network = SimNetwork(4)
+            network.attach_tracer(tracer)  # virtual-clock wiring
+            system = plummer_model(32, seed=5)
+            integ = ParallelBlockIntegrator(
+                system, EPS2, CopyAlgorithm(network, EPS2)
+            )
+            integ.run(0.03125)
+        finally:
+            set_tracer(old)
+
+        b = PhaseAggregator().consume(sink.events).breakdown()
+        # all four paper phases present in the wall-clock domain
+        for phase in (T_HOST, T_PIPE, T_COMM, T_BARRIER):
+            assert b.wall.totals[phase] > 0.0, phase
+
+        # the virtual domain (the simulated machine's time) exists and
+        # puts all cost in communication + synchronisation: the copy
+        # algorithm only advances clocks on the network
+        assert b.virtual is not None
+        assert b.virtual.totals[T_COMM] > 0.0
+        assert b.virtual.totals[T_BARRIER] > 0.0
+        assert b.virtual.totals[T_HOST] == pytest.approx(0.0)
+        # virtual attribution conserves the simulated wall-clock
+        assert b.virtual.total_us == pytest.approx(
+            network.clock.elapsed, rel=1e-9
+        )
+
+        # message/barrier metrics agree with the network's own counters
+        m = tracer.metrics
+        assert m.counter("net.messages").value == network.stats.messages
+        assert m.counter("net.bytes").value == network.stats.bytes
+        assert m.counter("net.barriers").value == network.stats.barriers
+        assert m.histogram("net.message_us").count == network.stats.messages
+
+        report = render_breakdown(b)
+        assert "virtual [ms]" in report
+        assert "T_barrier" in report
+
+
+class TestDisabledOverhead:
+    def test_disabled_tracer_overhead_under_5_percent(self):
+        """The permanent instrumentation must be near-free when off.
+
+        Measures a real 256-particle Hermite run with the (default)
+        disabled tracer, then measures the cost of every span/metric
+        call that run issued, re-played against the same disabled
+        tracer.  The replay must cost <5% of the run.
+        """
+        tracer = get_tracer()
+        assert not tracer.enabled  # the process default
+
+        system = plummer_model(256, seed=42)
+        t0 = time.perf_counter()
+        integ = BlockTimestepIntegrator(system, eps2=EPS2)
+        integ.run(0.03125)
+        t_run = time.perf_counter() - t0
+        blocksteps = integ.stats.blocksteps
+        assert blocksteps > 0
+
+        # per blockstep: 5 spans (blockstep/predict/force/correct/
+        # schedule) + 3 metric helpers; generously double it
+        n_calls = 16 * (blocksteps + 1)
+        t0 = time.perf_counter()
+        for _ in range(n_calls):
+            with tracer.span("blockstep", phase=T_HOST, n_block=8):
+                pass
+            tracer.count("core.interactions", 1)
+        t_overhead = time.perf_counter() - t0
+
+        assert t_overhead < 0.05 * t_run, (
+            f"disabled-tracer overhead {t_overhead:.4f}s is >=5% of the "
+            f"{t_run:.4f}s run ({blocksteps} blocksteps)"
+        )
+
+    def test_disabled_run_leaves_no_events_or_metrics(self, tmp_path):
+        tracer = get_tracer()
+        assert not tracer.enabled
+        before = {inst.name for inst in tracer.metrics}
+        system = plummer_model(16, seed=9)
+        BlockTimestepIntegrator(system, eps2=EPS2).run(0.0625)
+        assert {inst.name for inst in tracer.metrics} == before
+
+
+class TestTracedTrajectoriesUnchanged:
+    def test_tracing_does_not_perturb_the_integration(self):
+        """Telemetry observes; it must never change the physics."""
+        sys_a = plummer_model(24, seed=77)
+        sys_b = plummer_model(24, seed=77)
+
+        integ_a = BlockTimestepIntegrator(sys_a, eps2=EPS2)
+        integ_a.run(0.0625)
+
+        sink = InMemorySink()
+        tracer = Tracer(enabled=True, sinks=[sink])
+        integ_b = BlockTimestepIntegrator(sys_b, eps2=EPS2, tracer=tracer)
+        integ_b.run(0.0625)
+
+        assert len(sink.events) > 0
+        np.testing.assert_array_equal(sys_a.pos, sys_b.pos)
+        np.testing.assert_array_equal(sys_a.vel, sys_b.vel)

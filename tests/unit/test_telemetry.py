@@ -1,0 +1,390 @@
+"""Unit tests for :mod:`repro.telemetry`: tracer, metrics, phase
+aggregation, sinks, and the report renderers."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.io.runlog import read_runlog
+from repro.telemetry import (
+    InMemorySink,
+    JSONLSink,
+    Metrics,
+    PhaseAggregator,
+    SpanEvent,
+    SummarySink,
+    T_BARRIER,
+    T_COMM,
+    T_HOST,
+    T_OTHER,
+    T_PIPE,
+    Tracer,
+    breakdown_json,
+    get_tracer,
+    read_spans,
+    render_breakdown,
+    render_metrics,
+    set_tracer,
+)
+
+
+@pytest.fixture
+def clean_global_tracer():
+    """Restore the process-wide tracer after a test that swaps it."""
+    old = get_tracer()
+    yield
+    set_tracer(old)
+
+
+def make_tracer() -> tuple[Tracer, InMemorySink]:
+    sink = InMemorySink()
+    return Tracer(enabled=True, sinks=[sink]), sink
+
+
+class TestTracer:
+    def test_span_records_duration_and_name(self):
+        tracer, sink = make_tracer()
+        with tracer.span("work", phase=T_HOST, n=3):
+            time.sleep(0.001)
+        (event,) = sink.events
+        assert event.name == "work"
+        assert event.phase == T_HOST
+        assert event.attrs == {"n": 3}
+        assert event.dur_us >= 1000.0
+        assert event.parent_id is None
+        assert event.depth == 0
+
+    def test_spans_nest_correctly(self):
+        tracer, sink = make_tracer()
+        with tracer.span("outer"):
+            with tracer.span("middle"):
+                with tracer.span("inner"):
+                    pass
+            with tracer.span("middle2"):
+                pass
+        by_name = {e.name: e for e in sink.events}
+        assert by_name["outer"].parent_id is None
+        assert by_name["middle"].parent_id == by_name["outer"].span_id
+        assert by_name["inner"].parent_id == by_name["middle"].span_id
+        assert by_name["middle2"].parent_id == by_name["outer"].span_id
+        assert by_name["outer"].depth == 0
+        assert by_name["middle"].depth == 1
+        assert by_name["inner"].depth == 2
+        # children finish before parents, and durations nest
+        assert by_name["inner"].dur_us <= by_name["middle"].dur_us
+        assert by_name["middle"].dur_us + by_name["middle2"].dur_us <= (
+            by_name["outer"].dur_us + 1.0
+        )
+
+    def test_set_attaches_attributes_mid_span(self):
+        tracer, sink = make_tracer()
+        with tracer.span("retryable") as span:
+            span.set(retries=2)
+        assert sink.events[0].attrs == {"retries": 2}
+
+    def test_disabled_tracer_emits_nothing(self):
+        tracer, sink = make_tracer()
+        tracer.enabled = False
+        with tracer.span("ghost") as span:
+            span.set(x=1)  # null span tolerates the same interface
+        tracer.count("c")
+        tracer.observe("h", 1.0)
+        tracer.gauge("g", 1.0)
+        assert sink.events == []
+        assert "c" not in tracer.metrics
+        assert "h" not in tracer.metrics
+        assert "g" not in tracer.metrics
+
+    def test_disabled_span_is_shared_singleton(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("a") is tracer.span("b")
+
+    def test_event_is_zero_duration(self):
+        tracer, sink = make_tracer()
+        tracer.event("mark", phase=T_COMM, tag=7)
+        (event,) = sink.events
+        assert event.dur_us == 0.0
+        assert event.phase == T_COMM
+        assert event.attrs == {"tag": 7}
+
+    def test_virtual_clock_stamps(self):
+        vt = {"now": 10.0}
+        sink = InMemorySink()
+        tracer = Tracer(enabled=True, sinks=[sink], virtual_clock=lambda: vt["now"])
+        with tracer.span("comm", phase=T_COMM):
+            vt["now"] = 35.0
+        (event,) = sink.events
+        assert event.v_start_us == 10.0
+        assert event.v_dur_us == pytest.approx(25.0)
+
+    def test_global_tracer_swap(self, clean_global_tracer):
+        assert get_tracer().enabled is False  # process default is off
+        mine = Tracer(enabled=True)
+        old = set_tracer(mine)
+        assert get_tracer() is mine
+        set_tracer(old)
+        assert get_tracer() is old
+
+    def test_configure_installs_enabled_tracer(self, clean_global_tracer):
+        sink = InMemorySink()
+        tracer = telemetry.configure(sinks=[sink])
+        assert get_tracer() is tracer
+        assert tracer.enabled
+
+
+class TestMetrics:
+    def test_counter_and_gauge(self):
+        m = Metrics()
+        m.counter("c").inc()
+        m.counter("c").inc(4)
+        m.gauge("g").set(2.5)
+        assert m.counter("c").value == 5
+        assert m.gauge("g").value == 2.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Metrics().counter("c").inc(-1)
+
+    def test_histogram_moments_and_bins(self):
+        h = Metrics().histogram("h")
+        for v in (1, 2, 4, 8, 8):
+            h.observe(v)
+        assert h.count == 5
+        assert h.mean == pytest.approx(23 / 5)
+        assert h.min == 1 and h.max == 8
+        # power-of-two bins: 1 -> bin 0, 2 -> bin 2, 4 -> bin 3, 8 -> bin 4
+        assert h.bins == {0: 1, 2: 1, 3: 1, 4: 2}
+
+    def test_name_type_conflict_raises(self):
+        m = Metrics()
+        m.counter("x")
+        with pytest.raises(TypeError):
+            m.histogram("x")
+
+    def test_snapshot_is_json_serialisable(self):
+        m = Metrics()
+        m.counter("c").inc(2)
+        m.gauge("g").set(1.0)
+        m.histogram("h").observe(3.0)
+        snap = json.loads(json.dumps(m.snapshot()))
+        assert snap["c"] == {"type": "counter", "value": 2}
+        assert snap["h"]["count"] == 1
+
+
+class TestPhaseAggregation:
+    @staticmethod
+    def event(name, span_id, parent_id, dur, phase=None, depth=0, v_dur=None):
+        return SpanEvent(
+            name=name,
+            span_id=span_id,
+            parent_id=parent_id,
+            depth=depth,
+            t_start_us=0.0,
+            dur_us=dur,
+            phase=phase,
+            v_start_us=0.0 if v_dur is not None else None,
+            v_dur_us=v_dur,
+        )
+
+    def test_self_time_attribution_sums_to_root_total(self):
+        events = [
+            self.event("blockstep", 1, None, 100.0, phase=T_HOST),
+            self.event("force", 2, 1, 40.0, phase=T_PIPE, depth=1),
+            self.event("net.exchange", 3, 1, 30.0, phase=T_COMM, depth=1),
+        ]
+        b = PhaseAggregator().consume(events).breakdown()
+        assert b.wall.totals[T_HOST] == pytest.approx(30.0)  # 100 - 40 - 30
+        assert b.wall.totals[T_PIPE] == pytest.approx(40.0)
+        assert b.wall.totals[T_COMM] == pytest.approx(30.0)
+        assert b.wall.total_us == pytest.approx(100.0)  # == root span duration
+
+    def test_name_map_and_parent_inheritance(self):
+        events = [
+            self.event("grape.force", 1, None, 50.0),  # name map -> pipe
+            self.event("unmapped-child", 2, 1, 20.0, depth=1),  # inherits pipe
+            self.event("mystery", 3, None, 10.0),  # -> other
+        ]
+        b = PhaseAggregator().consume(events).breakdown()
+        assert b.wall.totals[T_PIPE] == pytest.approx(50.0)
+        assert b.wall.totals[T_OTHER] == pytest.approx(10.0)
+
+    def test_explicit_phase_wins_over_name_map(self):
+        events = [self.event("force", 1, None, 10.0, phase=T_BARRIER)]
+        b = PhaseAggregator().consume(events).breakdown()
+        assert b.wall.totals[T_BARRIER] == pytest.approx(10.0)
+
+    def test_virtual_domain_aggregates_separately(self):
+        events = [
+            self.event("net.exchange", 1, None, 5.0, phase=T_COMM, v_dur=200.0),
+            self.event("net.barrier", 2, 1, 1.0, phase=T_BARRIER, depth=1, v_dur=120.0),
+        ]
+        b = PhaseAggregator().consume(events).breakdown()
+        assert b.virtual is not None
+        assert b.virtual.totals[T_COMM] == pytest.approx(80.0)  # 200 - 120
+        assert b.virtual.totals[T_BARRIER] == pytest.approx(120.0)
+        assert b.virtual.total_us == pytest.approx(200.0)
+
+    def test_live_tracer_phases_sum_to_root_durations(self):
+        tracer, sink = make_tracer()
+        for _ in range(3):
+            with tracer.span("blockstep", phase=T_HOST):
+                with tracer.span("predict"):
+                    pass
+                with tracer.span("force", phase=T_PIPE):
+                    time.sleep(0.0005)
+        b = PhaseAggregator().consume(sink.events).breakdown()
+        roots = sum(e.dur_us for e in sink.events if e.parent_id is None)
+        assert b.wall.total_us == pytest.approx(roots, rel=1e-9)
+        assert b.wall.totals[T_PIPE] > 0.0
+        assert b.wall.totals[T_HOST] > 0.0
+
+    def test_span_summaries(self):
+        tracer, sink = make_tracer()
+        for _ in range(4):
+            with tracer.span("predict"):
+                pass
+        b = PhaseAggregator().consume(sink.events).breakdown()
+        (summary,) = b.spans
+        assert summary.name == "predict"
+        assert summary.count == 4
+        assert summary.phase == T_HOST  # from the default name map
+        assert summary.mean_us == pytest.approx(summary.total_us / 4)
+
+
+class TestSinks:
+    def test_summary_sink_aggregates(self):
+        sink = SummarySink()
+        tracer = Tracer(enabled=True, sinks=[sink])
+        for _ in range(5):
+            with tracer.span("force"):
+                pass
+        assert sink.totals["force"]["count"] == 5
+        assert sink.totals["force"]["total_us"] > 0.0
+
+    def test_jsonl_sink_round_trips_through_read_runlog(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JSONLSink(path, run="unit")
+        tracer = Tracer(enabled=True, sinks=[sink])
+        with tracer.span("blockstep", phase=T_HOST, n_block=8):
+            with tracer.span("force", phase=T_PIPE):
+                pass
+        tracer.count("core.interactions", 64)
+        tracer.close()
+
+        # raw runlog view
+        header, columns = read_runlog(path)
+        assert header == {"run": "unit"}
+        assert set(columns["name"]) == {"blockstep", "force"}
+
+        # typed round trip
+        header2, events, snapshot = read_spans(path)
+        assert header2 == {"run": "unit"}
+        assert len(events) == 2
+        by_name = {e.name: e for e in events}
+        assert by_name["force"].parent_id == by_name["blockstep"].span_id
+        assert by_name["blockstep"].attrs == {"n_block": 8}
+        assert by_name["blockstep"].phase == T_HOST
+        assert snapshot["core.interactions"]["value"] == 64
+
+        # and the aggregator runs off the reloaded events
+        b = PhaseAggregator().consume(events).breakdown()
+        assert b.wall.total_us == pytest.approx(by_name["blockstep"].dur_us)
+
+    def test_jsonl_sink_is_crash_safe(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JSONLSink(path, run="crashy")
+        tracer = Tracer(enabled=True, sinks=[sink])
+        with tracer.span("force"):
+            pass
+        # no close(): records must already be on disk
+        _, events, _ = read_spans(path)
+        assert [e.name for e in events] == ["force"]
+        sink.close()
+
+
+class TestReport:
+    def _breakdown(self):
+        tracer, sink = make_tracer()
+        with tracer.span("blockstep", phase=T_HOST):
+            with tracer.span("force", phase=T_PIPE):
+                pass
+        return PhaseAggregator().consume(sink.events).breakdown(), tracer
+
+    def test_render_breakdown_mentions_paper_phases(self):
+        b, _ = self._breakdown()
+        text = render_breakdown(b)
+        assert "T_host" in text and "T_pipe" in text
+        assert "wall [ms]" in text
+        assert "blockstep" in text  # span table
+
+    def test_breakdown_json_parses(self):
+        b, tracer = self._breakdown()
+        payload = json.loads(breakdown_json(b, metrics=tracer.metrics))
+        assert payload["wall_total_us"] == pytest.approx(b.wall.total_us)
+        assert "wall_us" in payload and "spans" in payload
+
+    def test_render_metrics(self):
+        m = Metrics()
+        m.counter("net.messages").inc(12)
+        m.histogram("net.message_us").observe(100.0)
+        text = render_metrics(m)
+        assert "net.messages" in text
+        assert "counter" in text and "histogram" in text
+
+
+class TestRunlogCoercion:
+    def test_numpy_scalars_coerce(self, tmp_path):
+        """Regression: np.bool_ (and np.generic scalars) must serialise."""
+        from repro.io.runlog import RunLogger
+
+        path = tmp_path / "log.jsonl"
+        with RunLogger(path, run="coerce") as log:
+            log.sample(
+                converged=np.bool_(True),
+                n=np.int32(3),
+                x=np.float32(1.5),
+                arr=np.arange(3),
+            )
+        _, columns = read_runlog(path)
+        assert columns["converged"] == [True]
+        assert columns["n"] == [3]
+        assert columns["x"] == [1.5]
+        assert columns["arr"] == [[0, 1, 2]]
+
+    def test_unserialisable_still_raises(self, tmp_path):
+        from repro.io.runlog import RunLogger
+
+        with RunLogger(tmp_path / "log.jsonl") as log:
+            with pytest.raises(TypeError):
+                log.sample(bad=object())
+
+    def test_flush_makes_records_visible_before_close(self, tmp_path):
+        from repro.io.runlog import RunLogger
+
+        path = tmp_path / "log.jsonl"
+        log = RunLogger(path, run="durable").open()
+        log.sample(t=0.5, blocksteps=np.int64(7))
+        # a crash here would lose nothing: the record is already on disk
+        header, columns = read_runlog(path)
+        assert header == {"run": "durable"}
+        assert columns["t"] == [0.5]
+        assert columns["blocksteps"] == [7]
+        log.close()
+
+    def test_read_runlog_records_partitions_kinds(self, tmp_path):
+        from repro.io.runlog import RunLogger, read_runlog_records
+
+        path = tmp_path / "log.jsonl"
+        with RunLogger(path, run="kinds") as log:
+            log.sample(t=1.0)
+            log.record("span", name="force", dur_us=3.0)
+        header, columns, by_kind = read_runlog_records(path)
+        assert header == {"run": "kinds"}
+        assert [r["name"] for r in by_kind["span"]] == ["force"]
+        assert by_kind["sample"] == [{"t": 1.0}]
+        assert columns["t"] == [1.0]
