@@ -12,7 +12,6 @@ import numpy as np
 
 from repro.config import NIC_NS83820, single_node_machine
 from repro.io import format_table
-from repro.models import plummer_model
 from repro.parallel import (
     CopyAlgorithm,
     Grid2DAlgorithm,
@@ -24,7 +23,7 @@ from repro.parallel.barrier import butterfly_barrier_us, mpich_barrier_us
 from repro.perfmodel import MachineModel
 from repro.perfmodel.comm_model import SyncModel
 
-from .conftest import emit
+from .conftest import emit, make_plummer
 
 EPS2 = (1.0 / 64.0) ** 2
 
@@ -39,7 +38,7 @@ def test_parallel_algorithm_traffic_ablation(benchmark):
             ("ring", RingAlgorithm),
             ("grid2d", Grid2DAlgorithm),
         ):
-            system = plummer_model(96, seed=41)
+            system = make_plummer(96, offset=41)
             net = SimNetwork(4, NIC_NS83820)
             integ = ParallelBlockIntegrator(system, EPS2, factory(net, EPS2))
             integ.run(0.0625)

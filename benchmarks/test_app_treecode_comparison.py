@@ -11,14 +11,13 @@ import pytest
 from repro.core import BlockTimestepIntegrator
 from repro.analysis import timestep_census
 from repro.io import format_table
-from repro.models import plummer_model
 from repro.perfmodel.applications import (
     GRAPE6_PARTICLE_STEPS_PER_SEC,
     treecode_comparison,
 )
 from repro.treecode.performance import measure_tree_rate
 
-from .conftest import emit
+from .conftest import emit, make_plummer
 
 
 def test_comparison_table(benchmark):
@@ -52,7 +51,7 @@ def test_raw_asci_red_was_7x_faster(benchmark):
 def test_local_treecode_measurement(benchmark):
     """A real tree-force rate on this host (the measured leg of the
     comparison; absolute value is hardware-dependent, shape is not)."""
-    system = plummer_model(2048, seed=11)
+    system = make_plummer(2048, offset=11)
     eps2 = (1.0 / 64.0) ** 2
 
     def measure():
@@ -76,7 +75,7 @@ def test_shared_step_penalty_measured(benchmark):
     integrated system gives the factor a shared-step code would pay."""
 
     def census():
-        system = plummer_model(512, seed=12)
+        system = make_plummer(512, offset=12)
         integ = BlockTimestepIntegrator(system, eps2=(1.0 / 64.0) ** 2)
         integ.run(0.25)
         return timestep_census(system)

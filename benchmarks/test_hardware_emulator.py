@@ -7,9 +7,8 @@ import numpy as np
 from repro.forces import DirectSummation
 from repro.hardware import Grape6Emulator, grape4_sum
 from repro.io import format_table
-from repro.models import plummer_model
 
-from .conftest import emit
+from .conftest import emit, make_plummer, make_rng
 
 EPS2 = (1.0 / 64.0) ** 2
 
@@ -17,7 +16,7 @@ EPS2 = (1.0 / 64.0) ** 2
 def test_emulated_force_call(benchmark):
     """Cost of one fully emulated force evaluation (fixed point,
     block floating point, exact reductions) on a 32-chip board."""
-    system = plummer_model(96, seed=31)
+    system = make_plummer(96, offset=31)
     emu = Grape6Emulator(EPS2, boards=1)
     emu.set_j_particles(system.pos, system.vel, system.mass)
     idx = np.arange(system.n)
@@ -43,7 +42,7 @@ def test_emulated_force_call(benchmark):
 def test_machine_size_invariance(benchmark):
     """Bit-identical forces across board counts, timed across the
     partitionings."""
-    system = plummer_model(64, seed=32)
+    system = make_plummer(64, offset=32)
     idx = np.arange(system.n)
 
     def all_partitions():
@@ -64,7 +63,7 @@ def test_machine_size_invariance(benchmark):
 def test_grape4_vs_grape6_summation(benchmark):
     """The design contrast: GRAPE-4-style float summation varies with
     the partitioning; GRAPE-6 block floating point does not."""
-    rng = np.random.default_rng(33)
+    rng = make_rng(33)
     contribs = rng.normal(0, 1, (512, 3)) * np.logspace(0, -8, 512)[:, None]
 
     def grape4_spread():

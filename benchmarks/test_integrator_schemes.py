@@ -15,10 +15,9 @@ from repro.core import (
 )
 from repro.forces.kernels import kinetic_energy, potential_energy
 from repro.io import format_table
-from repro.models import plummer_model
 from repro.parallel import HybridAlgorithm, ParallelBlockIntegrator
 
-from .conftest import emit
+from .conftest import emit, make_plummer
 
 EPS2 = (1.0 / 64.0) ** 2
 
@@ -35,10 +34,10 @@ def test_scheme_cost_accuracy_tradeoff(benchmark):
 
     def run_all():
         rows = []
-        s = plummer_model(64, seed=71)
+        s = make_plummer(64, offset=71)
         e0 = energy(s)
 
-        s4 = plummer_model(64, seed=71)
+        s4 = make_plummer(64, offset=71)
         i4 = BlockTimestepIntegrator(s4, EPS2)
         i4.run(0.5)
         rows.append(
@@ -46,7 +45,7 @@ def test_scheme_cost_accuracy_tradeoff(benchmark):
              abs((energy(i4.synchronize(0.5)) - e0) / e0))
         )
 
-        sac = plummer_model(64, seed=71)
+        sac = make_plummer(64, offset=71)
         iac = AhmadCohenIntegrator(sac, EPS2)
         iac.run(0.5)
         rows.append(
@@ -54,7 +53,7 @@ def test_scheme_cost_accuracy_tradeoff(benchmark):
              abs((energy(iac.synchronize(0.5)) - e0) / e0))
         )
 
-        s6 = plummer_model(64, seed=71)
+        s6 = make_plummer(64, offset=71)
         i6 = Hermite6Integrator(s6, EPS2, eta=0.05)
         i6.run(0.5)
         rows.append(
@@ -84,7 +83,7 @@ def test_full_machine_functional_run(benchmark):
     real Plummer model; virtual wall-clock per blockstep reported."""
 
     def run():
-        system = plummer_model(96, seed=72)
+        system = make_plummer(96, offset=72)
         hybrid = HybridAlgorithm(4, EPS2)
         integ = ParallelBlockIntegrator(system, EPS2, hybrid)
         integ.run(0.0625)

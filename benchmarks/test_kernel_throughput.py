@@ -12,14 +12,13 @@ from repro.constants import FLOPS_PER_INTERACTION
 from repro.core import BlockTimestepIntegrator
 from repro.forces import DirectSummation
 from repro.io import format_table
-from repro.models import plummer_model
 
-from .conftest import emit
+from .conftest import emit, make_plummer
 
 
 def test_force_kernel_throughput(benchmark):
     """Pairwise interactions per second of the vectorised kernel."""
-    system = plummer_model(1024, seed=21)
+    system = make_plummer(1024, offset=21)
     eps2 = (1.0 / 64.0) ** 2
     backend = DirectSummation(eps2)
     backend.set_j_particles(system.pos, system.vel, system.mass)
@@ -44,7 +43,7 @@ def test_blockstep_loop_throughput(benchmark):
     the paper's speed metric is built from)."""
 
     def run():
-        system = plummer_model(256, seed=22)
+        system = make_plummer(256, offset=22)
         integ = BlockTimestepIntegrator(system, eps2=(1.0 / 64.0) ** 2)
         return integ.run(0.125)
 

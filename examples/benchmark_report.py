@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Run the benchmark suite and print the paper-style performance report.
+
+The paper's tuning loop (33.4 -> 35.3 Tflops between submission and
+the final text) was: measure the standard sweeps, read the per-phase
+time budget, attack the dominant term, measure again.  This demo runs
+one turn of that loop with `repro.bench`:
+
+1. run the ``micro`` suite (seconds-total versions of the paper's
+   sweeps) and print the fig. 14-style time-budget tables;
+2. compare the run against itself through the regression gate, to
+   show what the PASS/REGRESSED verdict table looks like;
+3. profile the single-host sweep under cProfile and attribute the
+   hot functions to the eq. (10) phase taxonomy.
+
+Usage:  python examples/benchmark_report.py [suite]
+
+where ``suite`` is micro (default), smoke, or full.  For the real
+workflow against the committed baseline, use the CLI:
+
+    python -m repro.bench run --suite smoke --out BENCH_smoke.json
+    python -m repro.bench compare BENCH_smoke.json benchmarks/baseline.json
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench import (
+    REGISTRY,
+    compare_artifacts,
+    profile_benchmark,
+    render_artifact_text,
+    render_compare_text,
+    render_profile_text,
+    run_suite,
+)
+
+
+def main(suite: str = "micro") -> None:
+    print(f"# benchmark demo, suite = {suite}\n")
+
+    # 1. run the registered sweeps -------------------------------------------
+    artifact = run_suite(suite, repeats=2, warmup=0, label=f"demo-{suite}",
+                         progress=lambda msg: print(f"  {msg}"))
+    print()
+    print(render_artifact_text(artifact))
+    print()
+
+    # 2. the regression gate, run against itself -----------------------------
+    print("## regression gate (self-compare: every verdict is PASS)\n")
+    print(render_compare_text(compare_artifacts(artifact, artifact)))
+    print()
+
+    # 3. phase-attributed profile of the single-host sweep -------------------
+    print("## cProfile, attributed to the eq. (10) phases\n")
+    bench = REGISTRY.get("single_host_speed")
+    attr = profile_benchmark(bench, bench.params_for(suite), top=8)
+    print(render_profile_text(attr))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "micro")

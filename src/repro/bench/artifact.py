@@ -1,0 +1,105 @@
+"""The ``BENCH_*.json`` artifact: schema, validation, read/write.
+
+One artifact is one execution of one suite: an environment
+fingerprint, and per benchmark the trial timings with order
+statistics, the telemetry phase breakdown (the paper's
+T_host/T_pipe/T_comm/T_barrier split of eq. 10), the metrics snapshot
+(interactions/step, bytes/message, block sizes), and the
+benchmark-defined derived values (speeds in the eq. 9 convention,
+model-vs-measured ratios).  The schema is versioned so the regression
+gate can refuse artifacts it does not understand instead of
+mis-reading them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+#: Bump on breaking layout changes; the comparator refuses mismatches.
+SCHEMA = "repro.bench/1"
+
+#: Keys every per-benchmark entry must carry.
+_REQUIRED_BENCH_KEYS = ("name", "paper_ref", "params", "trials", "stats", "phases")
+#: Keys the artifact root must carry.
+_REQUIRED_ROOT_KEYS = ("schema", "label", "suite", "environment", "benchmarks")
+
+
+class ArtifactError(ValueError):
+    """Raised for schema violations and unreadable artifacts."""
+
+
+def validate_artifact(obj: Any, source: str = "artifact") -> dict[str, Any]:
+    """Check ``obj`` against the schema; returns it on success."""
+    if not isinstance(obj, dict):
+        raise ArtifactError(f"{source}: artifact root must be an object")
+    for key in _REQUIRED_ROOT_KEYS:
+        if key not in obj:
+            raise ArtifactError(f"{source}: missing required key {key!r}")
+    if obj["schema"] != SCHEMA:
+        raise ArtifactError(
+            f"{source}: schema {obj['schema']!r} not supported (need {SCHEMA!r})"
+        )
+    benchmarks = obj["benchmarks"]
+    if not isinstance(benchmarks, list) or not benchmarks:
+        raise ArtifactError(f"{source}: 'benchmarks' must be a non-empty list")
+    seen: set[str] = set()
+    for i, entry in enumerate(benchmarks):
+        if not isinstance(entry, dict):
+            raise ArtifactError(f"{source}: benchmarks[{i}] must be an object")
+        for key in _REQUIRED_BENCH_KEYS:
+            if key not in entry:
+                raise ArtifactError(
+                    f"{source}: benchmarks[{i}] missing required key {key!r}"
+                )
+        name = entry["name"]
+        if name in seen:
+            raise ArtifactError(f"{source}: duplicate benchmark name {name!r}")
+        seen.add(name)
+        trials = entry["trials"]
+        if not isinstance(trials, dict) or "wall_s" not in trials:
+            raise ArtifactError(
+                f"{source}: benchmarks[{i}] trials must carry a 'wall_s' list"
+            )
+        stats = entry["stats"]
+        if not isinstance(stats, dict) or "wall_s" not in stats:
+            raise ArtifactError(
+                f"{source}: benchmarks[{i}] stats must carry a 'wall_s' summary"
+            )
+        phases = entry["phases"]
+        if not isinstance(phases, dict) or "wall_us" not in phases:
+            raise ArtifactError(
+                f"{source}: benchmarks[{i}] phases must carry a 'wall_us' split"
+            )
+    return obj
+
+
+def benchmark_entry(artifact: dict[str, Any], name: str) -> dict[str, Any] | None:
+    """The named benchmark's entry, or None."""
+    for entry in artifact["benchmarks"]:
+        if entry["name"] == name:
+            return entry
+    return None
+
+
+def write_artifact(artifact: dict[str, Any], path: str | Path) -> Path:
+    """Validate and write one artifact (atomic rename, trailing newline)."""
+    validate_artifact(artifact, source=str(path))
+    path = Path(path)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+    tmp.replace(path)
+    return path
+
+
+def read_artifact(path: str | Path) -> dict[str, Any]:
+    """Read and validate one artifact; raises :class:`ArtifactError`."""
+    path = Path(path)
+    try:
+        obj = json.loads(path.read_text())
+    except OSError as exc:
+        raise ArtifactError(f"{path}: cannot read artifact: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(f"{path}: not valid JSON: {exc}") from exc
+    return validate_artifact(obj, source=str(path))

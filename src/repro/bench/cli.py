@@ -1,0 +1,195 @@
+"""``python -m repro.bench`` — run / compare / report / profile / list.
+
+Exit codes are CI-facing and deliberate:
+
+* 0 — success (for ``compare``: no regression, or ``--warn-only``);
+* 1 — the regression gate tripped;
+* 2 — operational error (unreadable artifact, schema mismatch,
+  unknown benchmark/suite) — always fatal, even under ``--warn-only``,
+  because a gate that cannot read its inputs is not a passing gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Sequence
+
+from .artifact import ArtifactError, read_artifact, write_artifact
+from .compare import DEFAULT_IQR_FACTOR, DEFAULT_REL_THRESHOLD, compare_artifacts
+from .profiling import profile_benchmark
+from .registry import REGISTRY
+from .report import (
+    render_artifact_markdown,
+    render_artifact_text,
+    render_compare_markdown,
+    render_compare_text,
+    render_profile_text,
+)
+from .runner import run_suite
+
+# registration side effect: populate REGISTRY with the built-in sweeps
+from . import suites as _suites  # noqa: F401
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        artifact = run_suite(
+            args.suite,
+            repeats=args.repeats,
+            warmup=args.warmup,
+            label=args.label,
+            names=args.bench or None,
+            progress=lambda line: print(f"  {line}", file=sys.stderr),
+        )
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.out:
+        write_artifact(artifact, args.out)
+        print(f"wrote {args.out} ({len(artifact['benchmarks'])} benchmarks)")
+    else:
+        print(json.dumps(artifact, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    current = read_artifact(args.current)
+    baseline = read_artifact(args.baseline)
+    result = compare_artifacts(
+        current,
+        baseline,
+        rel_threshold=args.threshold,
+        iqr_factor=args.iqr_factor,
+    )
+    if args.format == "json":
+        print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+    elif args.format == "markdown":
+        print(render_compare_markdown(result))
+    else:
+        print(render_compare_text(result))
+    if result.ok:
+        return 0
+    if args.warn_only:
+        print("warning: regression detected (exit 0 due to --warn-only)",
+              file=sys.stderr)
+        return 0
+    return 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    artifact = read_artifact(args.artifact)
+    if args.format == "json":
+        print(json.dumps(artifact, indent=2, sort_keys=True))
+    elif args.format == "markdown":
+        print(render_artifact_markdown(artifact))
+    else:
+        print(render_artifact_text(artifact))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    try:
+        bench = REGISTRY.get(args.bench)
+        params = bench.params_for(args.suite)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    attr = profile_benchmark(bench, params, top=args.top)
+    if args.format == "json":
+        print(json.dumps(attr.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_profile_text(attr))
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows: list[dict[str, Any]] = []
+    for bench in REGISTRY:
+        rows.append(
+            {
+                "name": bench.name,
+                "title": bench.title,
+                "paper_ref": bench.paper_ref,
+                "suites": sorted(bench.suites),
+            }
+        )
+    if args.format == "json":
+        print(json.dumps(rows, indent=2))
+    else:
+        for row in rows:
+            print(
+                f"{row['name']:28s} [{', '.join(row['suites'])}] "
+                f"{row['title']} ({row['paper_ref']})"
+            )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="benchmark harness: run the paper's sweeps, write "
+        "BENCH_*.json artifacts, gate regressions, profile phases",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run a suite and write an artifact")
+    p_run.add_argument("--suite", default="smoke",
+                       help="suite name (micro/smoke/full; default smoke)")
+    p_run.add_argument("--out", default=None,
+                       help="artifact path (BENCH_<label>.json); stdout if omitted")
+    p_run.add_argument("--repeats", type=int, default=3)
+    p_run.add_argument("--warmup", type=int, default=1)
+    p_run.add_argument("--label", default=None,
+                       help="artifact label (defaults to the suite name)")
+    p_run.add_argument("--bench", action="append",
+                       help="restrict to this benchmark (repeatable)")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="regression gate: current vs baseline")
+    p_cmp.add_argument("current")
+    p_cmp.add_argument("baseline")
+    p_cmp.add_argument("--threshold", type=float, default=DEFAULT_REL_THRESHOLD,
+                       help="relative slowdown threshold (default 0.5)")
+    p_cmp.add_argument("--iqr-factor", type=float, default=DEFAULT_IQR_FACTOR,
+                       help="noise floor as a multiple of the relative IQR")
+    p_cmp.add_argument("--warn-only", action="store_true",
+                       help="report regressions but exit 0 (CI soft gate)")
+    p_cmp.add_argument("--format", choices=("text", "markdown", "json"),
+                       default="text")
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_rep = sub.add_parser("report", help="render an artifact")
+    p_rep.add_argument("artifact")
+    p_rep.add_argument("--format", choices=("text", "markdown", "json"),
+                       default="text")
+    p_rep.set_defaults(func=_cmd_report)
+
+    p_prof = sub.add_parser("profile",
+                            help="cProfile one benchmark, attribute phases")
+    p_prof.add_argument("--bench", default="single_host_speed")
+    p_prof.add_argument("--suite", default="smoke")
+    p_prof.add_argument("--top", type=int, default=15)
+    p_prof.add_argument("--format", choices=("text", "json"), default="text")
+    p_prof.set_defaults(func=_cmd_profile)
+
+    p_list = sub.add_parser("list", help="list registered benchmarks")
+    p_list.add_argument("--format", choices=("text", "json"), default="text")
+    p_list.set_defaults(func=_cmd_list)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ArtifactError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # stdout closed early (e.g. piped through ``head``); not an error
+        sys.stderr.close()
+        return 0

@@ -1,0 +1,191 @@
+"""Noise-aware regression gate between two ``BENCH_*.json`` artifacts.
+
+The decision rule mirrors how the paper treats re-measurements of the
+same sweep across tuning iterations (section 5): a change only counts
+when it clears both a relative threshold *and* the run-to-run scatter
+of the measurement itself.  Per benchmark we compare medians and build
+the noise floor from the inter-quartile ranges of both artifacts:
+
+    effective_threshold = max(rel_threshold,
+                              iqr_factor * max(rel_iqr_base, rel_iqr_cur))
+
+``ratio = median_current / median_baseline`` then yields
+
+* ``REGRESSED``  if ratio > 1 + effective_threshold,
+* ``IMPROVED``   if ratio < 1 / (1 + effective_threshold),
+* ``PASS``       otherwise;
+
+benchmarks present on only one side report ``NEW`` / ``MISSING``
+(informational, never failing).  Schema mismatches raise — a gate that
+silently mis-reads an artifact is worse than no gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from .artifact import validate_artifact
+from .stats import TrialStats
+
+PASS = "PASS"
+REGRESSED = "REGRESSED"
+IMPROVED = "IMPROVED"
+NEW = "NEW"
+MISSING = "MISSING"
+
+#: Default relative threshold on the median wall time.  Wide on
+#: purpose: the gate is for algorithmic regressions (2x and worse),
+#: and sustained background load on a shared runner routinely shifts
+#: whole runs by 30-40%.  Tighten with ``--threshold`` on quiet hosts.
+DEFAULT_REL_THRESHOLD = 0.5
+#: The noise floor is this many relative IQRs wide.
+DEFAULT_IQR_FACTOR = 3.0
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Comparison outcome for one benchmark."""
+
+    name: str
+    status: str
+    ratio: float | None
+    baseline_median_s: float | None
+    current_median_s: float | None
+    threshold: float | None
+    note: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.status == REGRESSED
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "ratio": self.ratio,
+            "baseline_median_s": self.baseline_median_s,
+            "current_median_s": self.current_median_s,
+            "threshold": self.threshold,
+            "note": self.note,
+        }
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """All verdicts plus the roll-up the CLI turns into an exit code."""
+
+    verdicts: list[Verdict]
+    rel_threshold: float
+    iqr_factor: float
+
+    @property
+    def regressed(self) -> list[Verdict]:
+        return [v for v in self.verdicts if v.status == REGRESSED]
+
+    @property
+    def improved(self) -> list[Verdict]:
+        return [v for v in self.verdicts if v.status == IMPROVED]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressed
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "rel_threshold": self.rel_threshold,
+            "iqr_factor": self.iqr_factor,
+            "ok": self.ok,
+            "verdicts": [v.as_dict() for v in self.verdicts],
+        }
+
+
+def _stats_of(entry: dict[str, Any]) -> TrialStats:
+    return TrialStats.from_dict(entry["stats"]["wall_s"])
+
+
+def compare_benchmark(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    rel_threshold: float = DEFAULT_REL_THRESHOLD,
+    iqr_factor: float = DEFAULT_IQR_FACTOR,
+) -> Verdict:
+    """Verdict for one benchmark entry pair (same name assumed)."""
+    cur, base = _stats_of(current), _stats_of(baseline)
+    if base.median <= 0.0 or cur.median <= 0.0:
+        return Verdict(
+            name=current["name"],
+            status=PASS,
+            ratio=None,
+            baseline_median_s=base.median,
+            current_median_s=cur.median,
+            threshold=None,
+            note="degenerate timing (zero median); not comparable",
+        )
+    noise = iqr_factor * max(base.rel_iqr, cur.rel_iqr)
+    threshold = max(rel_threshold, noise)
+    ratio = cur.median / base.median
+    if ratio > 1.0 + threshold:
+        status, note = REGRESSED, f"{(ratio - 1.0) * 100.0:+.1f}% vs baseline"
+    elif ratio < 1.0 / (1.0 + threshold):
+        status, note = IMPROVED, f"{(ratio - 1.0) * 100.0:+.1f}% vs baseline"
+    else:
+        status, note = PASS, "within noise floor" if noise > rel_threshold else ""
+    return Verdict(
+        name=current["name"],
+        status=status,
+        ratio=ratio,
+        baseline_median_s=base.median,
+        current_median_s=cur.median,
+        threshold=threshold,
+        note=note,
+    )
+
+
+def compare_artifacts(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    rel_threshold: float = DEFAULT_REL_THRESHOLD,
+    iqr_factor: float = DEFAULT_IQR_FACTOR,
+) -> ComparisonResult:
+    """Compare every benchmark by name; validates both artifacts."""
+    validate_artifact(current, source="current")
+    validate_artifact(baseline, source="baseline")
+    cur_by_name = {e["name"]: e for e in current["benchmarks"]}
+    base_by_name = {e["name"]: e for e in baseline["benchmarks"]}
+
+    verdicts: list[Verdict] = []
+    for name, entry in cur_by_name.items():
+        base = base_by_name.get(name)
+        if base is None:
+            verdicts.append(
+                Verdict(
+                    name=name,
+                    status=NEW,
+                    ratio=None,
+                    baseline_median_s=None,
+                    current_median_s=_stats_of(entry).median,
+                    threshold=None,
+                    note="no baseline entry; run with --update-baseline to adopt",
+                )
+            )
+            continue
+        verdicts.append(
+            compare_benchmark(entry, base, rel_threshold, iqr_factor)
+        )
+    for name in base_by_name:
+        if name not in cur_by_name:
+            verdicts.append(
+                Verdict(
+                    name=name,
+                    status=MISSING,
+                    ratio=None,
+                    baseline_median_s=_stats_of(base_by_name[name]).median,
+                    current_median_s=None,
+                    threshold=None,
+                    note="present in baseline but not in current artifact",
+                )
+            )
+    return ComparisonResult(
+        verdicts=verdicts, rel_threshold=rel_threshold, iqr_factor=iqr_factor
+    )

@@ -1,0 +1,281 @@
+"""The built-in benchmarks: the paper's sweeps as registered trials.
+
+Importing this module populates :data:`repro.bench.registry.REGISTRY`
+with the measurements behind the paper's evaluation:
+
+* ``kernel_throughput``       — eq. 9: raw force-kernel speed;
+* ``single_host_speed``       — fig. 13: one host integrating a
+  Plummer model, speed in the 57-flop convention;
+* ``emulated_host_force``     — section 3.4: one fully emulated
+  (fixed-point, block-floating-point) GRAPE-6 force call;
+* ``cluster_speed``           — figs. 15/16: the copy algorithm over a
+  simulated NIC network, virtual-clock attribution;
+* ``blockstep_phase_breakdown`` — fig. 14: the per-particle-step time
+  budget split into the eq. 10 phases;
+* ``model_sweep``             — the cost of regenerating the analytic
+  fig. 13-18 curves themselves (the perfmodel hot path).
+
+Every workload generator takes an explicit ``seed`` from the params,
+so the trial scatter in ``BENCH_*.json`` reflects timing noise only,
+never workload noise.  Parameter sets exist for three suites:
+``micro`` (unit tests), ``smoke`` (CI), ``full`` (paper-sized, for
+local EXPERIMENTS.md refreshes).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+import numpy as np
+
+from ..analysis import run_speed
+from ..config import cluster_machine, single_node_machine
+from ..constants import FLOPS_PER_INTERACTION
+from ..core import BlockTimestepIntegrator
+from ..forces import DirectSummation
+from ..hardware import Grape6Emulator
+from ..models import plummer_model
+from ..parallel import CopyAlgorithm, ParallelBlockIntegrator, SimNetwork
+from ..perfmodel import MachineModel
+from ..telemetry import T_HOST, T_PIPE
+from .registry import REGISTRY, BenchContext
+
+#: Workload seed shared by the suites (fixed: determinism satellite).
+DEFAULT_SEED = 2003
+
+_EPS2 = (1.0 / 64.0) ** 2
+
+
+# -- kernel throughput (eq. 9) ---------------------------------------------
+
+
+def _kernel_setup(params: dict[str, Any]) -> dict[str, Any]:
+    system = plummer_model(params["n"], seed=params["seed"])
+    backend = DirectSummation(_EPS2)
+    backend.set_j_particles(system.pos, system.vel, system.mass)
+    return {"system": system, "backend": backend, "idx": np.arange(system.n)}
+
+
+@REGISTRY.register(
+    name="kernel_throughput",
+    title="force-kernel throughput (all pairs)",
+    paper_ref="eq. 9 / section 2.1",
+    setup=_kernel_setup,
+    suites={
+        "micro": {"n": 64, "calls": 1, "seed": DEFAULT_SEED},
+        "smoke": {"n": 512, "calls": 3, "seed": DEFAULT_SEED},
+        "full": {"n": 2048, "calls": 5, "seed": DEFAULT_SEED},
+    },
+)
+def kernel_throughput(ctx: BenchContext, state: dict[str, Any]) -> dict[str, Any]:
+    backend, system, idx = state["backend"], state["system"], state["idx"]
+    calls = ctx.params["calls"]
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        with ctx.tracer.span("force", phase=T_PIPE, n_i=system.n):
+            res = backend.forces_on(system.pos, system.vel, idx)
+    elapsed = time.perf_counter() - t0
+    interactions = res.interactions * calls
+    ctx.tracer.count("bench.interactions", interactions)
+    rate = interactions / elapsed if elapsed > 0 else 0.0
+    return {
+        "interactions_per_call": res.interactions,
+        "interactions_per_second": rate,
+        "eq9_gflops": rate * FLOPS_PER_INTERACTION / 1.0e9,
+    }
+
+
+# -- single-host speed vs N (fig. 13) --------------------------------------
+
+
+def _single_host_setup(params: dict[str, Any]) -> dict[str, Any]:
+    return {"system": plummer_model(params["n"], seed=params["seed"])}
+
+
+@REGISTRY.register(
+    name="single_host_speed",
+    title="single-host integration speed",
+    paper_ref="fig. 13 / eq. 9",
+    setup=_single_host_setup,
+    suites={
+        "micro": {"n": 64, "t_end": 1.0 / 32.0, "seed": DEFAULT_SEED},
+        "smoke": {"n": 256, "t_end": 1.0 / 16.0, "seed": DEFAULT_SEED},
+        "full": {"n": 1024, "t_end": 1.0 / 8.0, "seed": DEFAULT_SEED},
+    },
+)
+def single_host_speed(ctx: BenchContext, state: dict[str, Any]) -> dict[str, Any]:
+    n = ctx.params["n"]
+    t0 = time.perf_counter()
+    integ = BlockTimestepIntegrator(state["system"], eps2=_EPS2)
+    stats = integ.run(ctx.params["t_end"])
+    elapsed = time.perf_counter() - t0
+    speed = run_speed(stats, elapsed)
+    measured_us_per_step = elapsed * 1.0e6 / max(stats.particle_steps, 1)
+    # the paper's machine would do the same steps in this much time:
+    model_us = MachineModel(single_node_machine()).time_per_step_us(n)
+    return {
+        "particle_steps": stats.particle_steps,
+        "blocksteps": stats.blocksteps,
+        "mean_block_size": stats.mean_block_size,
+        "interactions_per_step": stats.interactions / max(stats.particle_steps, 1),
+        "particle_steps_per_second": speed.particle_steps_per_second,
+        "sustained_gflops": speed.sustained_gflops,
+        "measured_us_per_step": measured_us_per_step,
+        "model_us_per_step": model_us,
+        "model_over_measured": model_us / measured_us_per_step,
+    }
+
+
+# -- one fully emulated GRAPE-6 force call (section 3.4) -------------------
+
+
+def _emulator_setup(params: dict[str, Any]) -> dict[str, Any]:
+    system = plummer_model(params["n"], seed=params["seed"])
+    emu = Grape6Emulator(_EPS2, boards=params["boards"])
+    emu.set_j_particles(system.pos, system.vel, system.mass)
+    return {"system": system, "emu": emu, "idx": np.arange(system.n)}
+
+
+@REGISTRY.register(
+    name="emulated_host_force",
+    title="emulated GRAPE-6 force evaluation",
+    paper_ref="section 3.4 / figs. 4-5",
+    setup=_emulator_setup,
+    suites={
+        "micro": {"n": 48, "boards": 1, "seed": DEFAULT_SEED},
+        "smoke": {"n": 96, "boards": 1, "seed": DEFAULT_SEED},
+        "full": {"n": 192, "boards": 2, "seed": DEFAULT_SEED},
+    },
+)
+def emulated_host_force(ctx: BenchContext, state: dict[str, Any]) -> dict[str, Any]:
+    emu, system, idx = state["emu"], state["system"], state["idx"]
+    t0 = time.perf_counter()
+    with ctx.tracer.span("grape.force", phase=T_PIPE, n_i=system.n):
+        res = emu.forces_on(system.pos, system.vel, idx)
+    elapsed = time.perf_counter() - t0
+    ctx.tracer.count("bench.exponent_retries", emu.stats.exponent_retries)
+    return {
+        "interactions": res.interactions,
+        "exponent_retries": emu.stats.exponent_retries,
+        "us_per_interaction": elapsed * 1.0e6 / max(res.interactions, 1),
+    }
+
+
+# -- simulated cluster speed (figs. 15/16) ---------------------------------
+
+
+def _cluster_setup(params: dict[str, Any]) -> dict[str, Any]:
+    return {
+        "system": plummer_model(params["n"], seed=params["seed"]),
+        "network": SimNetwork(params["ranks"]),
+    }
+
+
+@REGISTRY.register(
+    name="cluster_speed",
+    title="simulated multi-host cluster (copy algorithm)",
+    paper_ref="figs. 15-16 / section 4.3",
+    setup=_cluster_setup,
+    suites={
+        "micro": {"n": 48, "ranks": 2, "t_end": 1.0 / 32.0, "seed": DEFAULT_SEED},
+        "smoke": {"n": 128, "ranks": 4, "t_end": 1.0 / 16.0, "seed": DEFAULT_SEED},
+        "full": {"n": 256, "ranks": 4, "t_end": 1.0 / 8.0, "seed": DEFAULT_SEED},
+    },
+)
+def cluster_speed(ctx: BenchContext, state: dict[str, Any]) -> dict[str, Any]:
+    n, ranks = ctx.params["n"], ctx.params["ranks"]
+    network: SimNetwork = state["network"]
+    ctx.attach_network(network)
+    integ = ParallelBlockIntegrator(
+        state["system"], _EPS2, CopyAlgorithm(network, _EPS2)
+    )
+    stats = integ.run(ctx.params["t_end"])
+    virtual_us = network.clock.elapsed
+    steps = max(stats.particle_steps, 1)
+    msgs = max(network.stats.messages, 1)
+    model_us = MachineModel(cluster_machine(ranks)).time_per_step_us(n)
+    measured_us_per_step = virtual_us / steps
+    ctx.tracer.count("bench.messages", network.stats.messages)
+    ctx.tracer.count("bench.bytes", network.stats.bytes)
+    return {
+        "particle_steps": stats.particle_steps,
+        "virtual_ms": virtual_us / 1.0e3,
+        "virtual_us_per_step": measured_us_per_step,
+        "messages": network.stats.messages,
+        "bytes_per_message": network.stats.bytes / msgs,
+        "barriers": network.stats.barriers,
+        "model_us_per_step": model_us,
+        "model_over_measured": model_us / measured_us_per_step,
+    }
+
+
+# -- blockstep phase breakdown on the emulator (fig. 14 / eq. 10) ----------
+
+
+def _breakdown_setup(params: dict[str, Any]) -> dict[str, Any]:
+    return {"system": plummer_model(params["n"], seed=params["seed"])}
+
+
+@REGISTRY.register(
+    name="blockstep_phase_breakdown",
+    title="emulated-host blockstep time budget",
+    paper_ref="fig. 14 / eq. 10",
+    setup=_breakdown_setup,
+    suites={
+        "micro": {"n": 32, "t_end": 1.0 / 32.0, "seed": DEFAULT_SEED},
+        "smoke": {"n": 64, "t_end": 1.0 / 16.0, "seed": DEFAULT_SEED},
+        "full": {"n": 128, "t_end": 1.0 / 8.0, "seed": DEFAULT_SEED},
+    },
+)
+def blockstep_phase_breakdown(ctx: BenchContext, state: dict[str, Any]) -> dict[str, Any]:
+    integ = BlockTimestepIntegrator(
+        state["system"], eps2=_EPS2, backend=Grape6Emulator(_EPS2)
+    )
+    t0 = time.perf_counter()
+    stats = integ.run(ctx.params["t_end"])
+    elapsed = time.perf_counter() - t0
+    return {
+        "particle_steps": stats.particle_steps,
+        "blocksteps": stats.blocksteps,
+        "mean_block_size": stats.mean_block_size,
+        "measured_us_per_step": elapsed * 1.0e6 / max(stats.particle_steps, 1),
+    }
+
+
+# -- analytic model regeneration (figs. 13-18 curves) ----------------------
+
+
+@REGISTRY.register(
+    name="model_sweep",
+    title="analytic perfmodel curve regeneration",
+    paper_ref="figs. 13-18 (model curves)",
+    suites={
+        "micro": {"points": 4, "sweeps": 1},
+        "smoke": {"points": 12, "sweeps": 25},
+        "full": {"points": 24, "sweeps": 100},
+    },
+)
+def model_sweep(ctx: BenchContext, state: Any) -> dict[str, Any]:
+    # ``sweeps`` repeats the whole curve regeneration so the smoke
+    # timing sits well above scheduler jitter (a single sweep is
+    # sub-millisecond, which would drown the regression gate in noise).
+    points = ctx.params["points"]
+    sweeps = ctx.params.get("sweeps", 1)
+    grid = [int(x) for x in np.logspace(np.log10(256), np.log10(2.0e6), points)]
+    t0 = time.perf_counter()
+    with ctx.tracer.span("model.sweep", phase=T_HOST, points=points):
+        for _ in range(sweeps):
+            single = MachineModel(single_node_machine())
+            cluster = MachineModel(cluster_machine(4))
+            speeds = [single.speed_gflops(n) for n in grid]
+            for n in grid:
+                single.step_time_breakdown(n)
+                cluster.step_time_breakdown(n)
+    elapsed = time.perf_counter() - t0
+    return {
+        "points": points,
+        "us_per_point": elapsed * 1.0e6 / (points * sweeps),
+        "speed_at_2e5_gflops": single.speed_gflops(200_000),
+        "max_speed_gflops": max(speeds),
+    }

@@ -87,6 +87,29 @@ class Histogram:
         var = self.sq_total / self.count - self.mean**2
         return math.sqrt(max(var, 0.0))
 
+    def percentile(self, q: float) -> float:
+        """Approximate percentile from the power-of-two bins.
+
+        Walks the cumulative bin counts to the bin containing the
+        q-th observation and returns that bin's upper edge (2^b;
+        bin 0's edge is 1.0), clamped to the observed [min, max] so a
+        single-bucket histogram reports exact extrema rather than a
+        bin boundary.  Resolution is therefore one octave — the same
+        granularity the paper's block-size histograms have.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile q must be in [0, 100]")
+        if self.count == 0:
+            return 0.0
+        target = (q / 100.0) * self.count
+        cum = 0
+        for b in sorted(self.bins):
+            cum += self.bins[b]
+            if cum >= target:
+                upper = 1.0 if b == 0 else float(2**b)
+                return min(max(upper, self.min), self.max)
+        return self.max
+
     def summary(self) -> dict[str, float]:
         return {
             "count": self.count,
@@ -95,6 +118,8 @@ class Histogram:
             "std": self.std,
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
+            "p50": self.percentile(50.0),
+            "p90": self.percentile(90.0),
         }
 
 

@@ -90,7 +90,8 @@ def render_metrics(metrics: Metrics) -> str:
         if entry["type"] == "histogram":
             value = (
                 f"n={entry['count']} mean={entry['mean']:.4g} "
-                f"min={entry['min']:.4g} max={entry['max']:.4g}"
+                f"p50={entry['p50']:.4g} p90={entry['p90']:.4g} "
+                f"max={entry['max']:.4g}"
             )
         else:
             value = str(entry["value"])

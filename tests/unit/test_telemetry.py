@@ -388,3 +388,51 @@ class TestRunlogCoercion:
         assert [r["name"] for r in by_kind["span"]] == ["force"]
         assert by_kind["sample"] == [{"t": 1.0}]
         assert columns["t"] == [1.0]
+
+
+class TestHistogramPercentiles:
+    """The pow2-bin percentile helpers feeding bench artifacts and
+    render_metrics (octave resolution, clamped to observed extrema)."""
+
+    def test_empty_histogram(self):
+        h = Metrics().histogram("h")
+        assert h.percentile(50.0) == 0.0
+        s = h.summary()
+        assert s["p50"] == 0.0 and s["p90"] == 0.0
+
+    def test_single_observation_single_bucket(self):
+        h = Metrics().histogram("h")
+        h.observe(5.0)  # bin 3 covers [4, 8); clamp must report 5, not 8
+        assert h.percentile(0.0) == 5.0
+        assert h.percentile(50.0) == 5.0
+        assert h.percentile(100.0) == 5.0
+
+    def test_percentiles_are_monotone_and_bounded(self):
+        h = Metrics().histogram("h")
+        for v in (1, 2, 4, 8, 8, 64, 128):
+            h.observe(v)
+        qs = [h.percentile(q) for q in (0, 25, 50, 75, 90, 100)]
+        assert qs == sorted(qs)
+        assert qs[0] == h.min
+        assert qs[-1] == h.max
+        # octave resolution: p50 within a factor of two of the true median
+        assert 8.0 / 2 <= h.percentile(50.0) <= 8.0 * 2
+
+    def test_out_of_range_q_raises(self):
+        h = Metrics().histogram("h")
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(-1.0)
+        with pytest.raises(ValueError):
+            h.percentile(101.0)
+
+    def test_summary_and_render_use_percentiles(self):
+        m = Metrics()
+        h = m.histogram("core.block_size")
+        for v in (2, 2, 4, 16):
+            h.observe(v)
+        s = h.summary()
+        assert s["p50"] in (2.0, 4.0)
+        assert s["p90"] == 16.0
+        text = render_metrics(m)
+        assert "p50=" in text and "p90=" in text
