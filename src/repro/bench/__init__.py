@@ -33,6 +33,8 @@ from .artifact import (
     write_artifact,
 )
 from .compare import (
+    DEFAULT_DRIFT_THRESHOLD,
+    DRIFT,
     IMPROVED,
     MISSING,
     NEW,
@@ -44,11 +46,26 @@ from .compare import (
     compare_benchmark,
 )
 from .env import environment_fingerprint
+from .history import (
+    DEFAULT_HISTORY_PATH,
+    HISTORY_SCHEMA,
+    HistoryError,
+    TrajectoryPoint,
+    artifact_row,
+    env_key,
+    ingest_artifact,
+    read_history,
+    render_history_plot,
+    render_history_table,
+    trajectory,
+)
 from .profiling import (
     ATTRIBUTION_RULES,
+    FlightRecording,
     Hotspot,
     ProfileAttribution,
     attribute_profile,
+    flight_record_benchmark,
     profile_benchmark,
 )
 from .registry import REGISTRY, BenchContext, Benchmark, BenchmarkRegistry
@@ -77,16 +94,31 @@ __all__ = [
     "IMPROVED",
     "NEW",
     "MISSING",
+    "DRIFT",
+    "DEFAULT_DRIFT_THRESHOLD",
     "Verdict",
     "ComparisonResult",
     "compare_artifacts",
     "compare_benchmark",
     "environment_fingerprint",
+    "HISTORY_SCHEMA",
+    "DEFAULT_HISTORY_PATH",
+    "HistoryError",
+    "TrajectoryPoint",
+    "artifact_row",
+    "env_key",
+    "ingest_artifact",
+    "read_history",
+    "render_history_table",
+    "render_history_plot",
+    "trajectory",
     "ATTRIBUTION_RULES",
     "Hotspot",
     "ProfileAttribution",
+    "FlightRecording",
     "attribute_profile",
     "profile_benchmark",
+    "flight_record_benchmark",
     "REGISTRY",
     "Benchmark",
     "BenchContext",

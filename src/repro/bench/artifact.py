@@ -9,6 +9,11 @@ benchmark-defined derived values (speeds in the eq. 9 convention,
 model-vs-measured ratios).  The schema is versioned so the regression
 gate can refuse artifacts it does not understand instead of
 mis-reading them.
+
+Two optional root keys thread reproducibility through to the history
+store (:mod:`repro.bench.history`): ``seed`` (the ``--seed`` override
+applied to every benchmark's workload) and ``tag`` (a free-form label
+such as ``post-vectorise``).  Both are validated when present.
 """
 
 from __future__ import annotations
@@ -41,6 +46,12 @@ def validate_artifact(obj: Any, source: str = "artifact") -> dict[str, Any]:
         raise ArtifactError(
             f"{source}: schema {obj['schema']!r} not supported (need {SCHEMA!r})"
         )
+    seed = obj.get("seed")
+    if seed is not None and (isinstance(seed, bool) or not isinstance(seed, int)):
+        raise ArtifactError(f"{source}: 'seed' must be an integer when present")
+    tag = obj.get("tag")
+    if tag is not None and not isinstance(tag, str):
+        raise ArtifactError(f"{source}: 'tag' must be a string when present")
     benchmarks = obj["benchmarks"]
     if not isinstance(benchmarks, list) or not benchmarks:
         raise ArtifactError(f"{source}: 'benchmarks' must be a non-empty list")

@@ -1,9 +1,11 @@
-"""``python -m repro.bench`` — run / compare / report / profile / list.
+"""``python -m repro.bench`` — run / compare / report / profile /
+history / list.
 
 Exit codes are CI-facing and deliberate:
 
 * 0 — success (for ``compare``: no regression, or ``--warn-only``);
-* 1 — the regression gate tripped;
+* 1 — the regression gate tripped (wall-time regression or model
+  drift);
 * 2 — operational error (unreadable artifact, schema mismatch,
   unknown benchmark/suite) — always fatal, even under ``--warn-only``,
   because a gate that cannot read its inputs is not a passing gate.
@@ -16,9 +18,23 @@ import json
 import sys
 from typing import Any, Sequence
 
+from ..telemetry import write_timeline
 from .artifact import ArtifactError, read_artifact, write_artifact
-from .compare import DEFAULT_IQR_FACTOR, DEFAULT_REL_THRESHOLD, compare_artifacts
-from .profiling import profile_benchmark
+from .compare import (
+    DEFAULT_DRIFT_THRESHOLD,
+    DEFAULT_IQR_FACTOR,
+    DEFAULT_REL_THRESHOLD,
+    compare_artifacts,
+)
+from .history import (
+    DEFAULT_HISTORY_PATH,
+    HistoryError,
+    ingest_artifact,
+    read_history,
+    render_history_plot,
+    render_history_table,
+)
+from .profiling import flight_record_benchmark, profile_benchmark
 from .registry import REGISTRY
 from .report import (
     render_artifact_markdown,
@@ -42,6 +58,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             label=args.label,
             names=args.bench or None,
             progress=lambda line: print(f"  {line}", file=sys.stderr),
+            seed=args.seed,
+            tag=args.tag,
         )
     except KeyError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -62,6 +80,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         baseline,
         rel_threshold=args.threshold,
         iqr_factor=args.iqr_factor,
+        drift_threshold=None if args.no_drift else args.drift_threshold,
     )
     if args.format == "json":
         print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
@@ -96,12 +115,83 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    attr = profile_benchmark(bench, params, top=args.top)
+    if args.timeline is None:
+        attr = profile_benchmark(bench, params, top=args.top)
+        if args.format == "json":
+            print(json.dumps(attr.as_dict(), indent=2, sort_keys=True))
+        else:
+            print(render_profile_text(attr))
+        return 0
+    # flight-recorder mode: one trial observed by cProfile, the span
+    # tracer and the sampler together; the span tree + sampler ticks
+    # become a chrome://tracing / Perfetto timeline
+    recording = flight_record_benchmark(
+        bench, params, top=args.top, interval_s=args.interval / 1.0e3
+    )
+    path = write_timeline(
+        args.timeline,
+        recording.events,
+        samples=recording.samples,
+        metadata={"benchmark": bench.name, "suite": args.suite,
+                  "params": params},
+    )
     if args.format == "json":
-        print(json.dumps(attr.as_dict(), indent=2, sort_keys=True))
+        print(json.dumps(recording.as_dict(), indent=2, sort_keys=True))
     else:
-        print(render_profile_text(attr))
+        print(render_profile_text(recording.attribution))
+        print()
+        print(recording.sampler_report.render())
+    print(
+        f"wrote {path} ({len(recording.events)} spans, "
+        f"{len(recording.samples)} samples); load in chrome://tracing "
+        f"or https://ui.perfetto.dev",
+        file=sys.stderr,
+    )
     return 0
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    if args.history_command == "ingest":
+        appended_any = False
+        for artifact_path in args.artifacts:
+            artifact = read_artifact(artifact_path)
+            row, appended = ingest_artifact(
+                artifact, args.history, force=args.force
+            )
+            appended_any = appended_any or appended
+            status = "ingested" if appended else "already present (skipped)"
+            print(
+                f"{artifact_path}: {status} "
+                f"[suite {row['suite']}, env {row['env_key']}, "
+                f"rev {(row['git_revision'] or '-')[:10]}]"
+            )
+        rows = read_history(args.history)
+        print(f"{args.history}: {len(rows)} rows")
+        return 0
+    rows = read_history(args.history)
+    if args.history_command == "table":
+        print(
+            render_history_table(
+                rows,
+                fmt=args.format,
+                suite=args.suite,
+                env=args.env,
+                drift_threshold=args.drift_threshold,
+            )
+        )
+        return 0
+    if args.history_command == "plot":
+        print(
+            render_history_plot(
+                rows,
+                suite=args.suite,
+                env=args.env,
+                benchmarks=args.bench or None,
+                width=args.width,
+            )
+        )
+        return 0
+    raise AssertionError(f"unhandled history command {args.history_command!r}")
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -145,6 +235,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="artifact label (defaults to the suite name)")
     p_run.add_argument("--bench", action="append",
                        help="restrict to this benchmark (repeatable)")
+    p_run.add_argument("--seed", type=int, default=None,
+                       help="override the workload seed of every benchmark "
+                       "(recorded in the artifact for reproducibility)")
+    p_run.add_argument("--tag", default=None,
+                       help="free-form label recorded in the artifact and "
+                       "its history row (e.g. 'post-vectorise')")
     p_run.set_defaults(func=_cmd_run)
 
     p_cmp = sub.add_parser("compare", help="regression gate: current vs baseline")
@@ -156,6 +252,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="noise floor as a multiple of the relative IQR")
     p_cmp.add_argument("--warn-only", action="store_true",
                        help="report regressions but exit 0 (CI soft gate)")
+    p_cmp.add_argument("--drift-threshold", type=float,
+                       default=DEFAULT_DRIFT_THRESHOLD,
+                       help="relative model_over_measured drift that fails "
+                       "the gate (same-environment artifacts only; "
+                       "default 0.5)")
+    p_cmp.add_argument("--no-drift", action="store_true",
+                       help="disable the model-drift check")
     p_cmp.add_argument("--format", choices=("text", "markdown", "json"),
                        default="text")
     p_cmp.set_defaults(func=_cmd_compare)
@@ -167,12 +270,61 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.set_defaults(func=_cmd_report)
 
     p_prof = sub.add_parser("profile",
-                            help="cProfile one benchmark, attribute phases")
+                            help="cProfile one benchmark, attribute phases; "
+                            "--timeline adds the full flight recorder")
     p_prof.add_argument("--bench", default="single_host_speed")
     p_prof.add_argument("--suite", default="smoke")
     p_prof.add_argument("--top", type=int, default=15)
+    p_prof.add_argument("--timeline", default=None, metavar="PATH",
+                        help="also sample the trial and write its span tree "
+                        "+ sampler ticks as Chrome trace-event JSON")
+    p_prof.add_argument("--interval", type=float, default=2.0,
+                        help="sampler interval in ms (with --timeline; "
+                        "default 2)")
     p_prof.add_argument("--format", choices=("text", "json"), default="text")
     p_prof.set_defaults(func=_cmd_profile)
+
+    p_hist = sub.add_parser(
+        "history",
+        help="bench trajectory across commits (ingest / table / plot)")
+    hist_sub = p_hist.add_subparsers(dest="history_command", required=True)
+
+    def _hist_common(p):
+        p.add_argument("--history", default=str(DEFAULT_HISTORY_PATH),
+                       help=f"history file (default {DEFAULT_HISTORY_PATH})")
+
+    p_ing = hist_sub.add_parser(
+        "ingest", help="append BENCH_*.json artifacts to the history")
+    p_ing.add_argument("artifacts", nargs="+",
+                       help="artifact files to ingest")
+    p_ing.add_argument("--force", action="store_true",
+                       help="append even if the (env, revision, suite, "
+                       "label) key already exists")
+    _hist_common(p_ing)
+    p_ing.set_defaults(func=_cmd_history)
+
+    p_tab = hist_sub.add_parser(
+        "table", help="render the per-suite trajectory table")
+    p_tab.add_argument("--suite", default=None,
+                       help="restrict to one suite")
+    p_tab.add_argument("--env", default=None,
+                       help="restrict to one environment fingerprint key")
+    p_tab.add_argument("--drift-threshold", type=float,
+                       default=DEFAULT_DRIFT_THRESHOLD)
+    p_tab.add_argument("--format", choices=("text", "markdown"),
+                       default="text")
+    _hist_common(p_tab)
+    p_tab.set_defaults(func=_cmd_history)
+
+    p_plot = hist_sub.add_parser(
+        "plot", help="terminal sparklines of median wall time per ingest")
+    p_plot.add_argument("--suite", default=None)
+    p_plot.add_argument("--env", default=None)
+    p_plot.add_argument("--bench", action="append",
+                        help="restrict to this benchmark (repeatable)")
+    p_plot.add_argument("--width", type=int, default=48)
+    _hist_common(p_plot)
+    p_plot.set_defaults(func=_cmd_history)
 
     p_list = sub.add_parser("list", help="list registered benchmarks")
     p_list.add_argument("--format", choices=("text", "json"), default="text")
@@ -186,7 +338,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except ArtifactError as exc:
+    except (ArtifactError, HistoryError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except BrokenPipeError:

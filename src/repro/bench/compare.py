@@ -18,6 +18,18 @@ the noise floor from the inter-quartile ranges of both artifacts:
 benchmarks present on only one side report ``NEW`` / ``MISSING``
 (informational, never failing).  Schema mismatches raise — a gate that
 silently mis-reads an artifact is worse than no gate.
+
+On top of the wall-time gate sits the **model-drift check** (a ROADMAP
+open item): benchmarks that publish a ``model_over_measured`` derived
+value (the analytic eq. 10 model's prediction over the measured
+median) must keep that ratio stable between baseline and current.  A
+uniform slowdown moves the ratio and the median together and is caught
+above; a *drift* of the ratio alone means the analytic perfmodel and
+the implementation no longer describe the same machine — which is a
+correctness problem for every model-derived figure, not a performance
+problem.  The check only runs when both artifacts carry the same
+environment fingerprint (a new machine legitimately re-anchors the
+ratio) and reports ``DRIFT``, which fails the gate like a regression.
 """
 
 from __future__ import annotations
@@ -33,6 +45,7 @@ REGRESSED = "REGRESSED"
 IMPROVED = "IMPROVED"
 NEW = "NEW"
 MISSING = "MISSING"
+DRIFT = "DRIFT"
 
 #: Default relative threshold on the median wall time.  Wide on
 #: purpose: the gate is for algorithmic regressions (2x and worse),
@@ -41,6 +54,12 @@ MISSING = "MISSING"
 DEFAULT_REL_THRESHOLD = 0.5
 #: The noise floor is this many relative IQRs wide.
 DEFAULT_IQR_FACTOR = 3.0
+#: Relative change of ``model_over_measured`` that counts as drift.
+#: Wall-clock medians scatter ~30% on shared runners, and the ratio
+#: inherits that scatter, so the default is deliberately wide; the
+#: virtual-clock benchmarks (deterministic measured side) can be held
+#: much tighter with ``--drift-threshold``.
+DEFAULT_DRIFT_THRESHOLD = 0.5
 
 
 @dataclass(frozen=True)
@@ -57,7 +76,7 @@ class Verdict:
 
     @property
     def failed(self) -> bool:
-        return self.status == REGRESSED
+        return self.status in (REGRESSED, DRIFT)
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -78,6 +97,10 @@ class ComparisonResult:
     verdicts: list[Verdict]
     rel_threshold: float
     iqr_factor: float
+    drift_threshold: float | None = None
+    #: False when the drift check was skipped (different environment
+    #: fingerprints — the ratio legitimately re-anchors on a new box).
+    drift_checked: bool = False
 
     @property
     def regressed(self) -> list[Verdict]:
@@ -88,13 +111,19 @@ class ComparisonResult:
         return [v for v in self.verdicts if v.status == IMPROVED]
 
     @property
+    def drifted(self) -> list[Verdict]:
+        return [v for v in self.verdicts if v.status == DRIFT]
+
+    @property
     def ok(self) -> bool:
-        return not self.regressed
+        return not self.regressed and not self.drifted
 
     def as_dict(self) -> dict[str, Any]:
         return {
             "rel_threshold": self.rel_threshold,
             "iqr_factor": self.iqr_factor,
+            "drift_threshold": self.drift_threshold,
+            "drift_checked": self.drift_checked,
             "ok": self.ok,
             "verdicts": [v.as_dict() for v in self.verdicts],
         }
@@ -104,13 +133,27 @@ def _stats_of(entry: dict[str, Any]) -> TrialStats:
     return TrialStats.from_dict(entry["stats"]["wall_s"])
 
 
+def _model_ratio(entry: dict[str, Any]) -> float | None:
+    value = entry.get("derived", {}).get("model_over_measured")
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
 def compare_benchmark(
     current: dict[str, Any],
     baseline: dict[str, Any],
     rel_threshold: float = DEFAULT_REL_THRESHOLD,
     iqr_factor: float = DEFAULT_IQR_FACTOR,
+    drift_threshold: float | None = None,
 ) -> Verdict:
-    """Verdict for one benchmark entry pair (same name assumed)."""
+    """Verdict for one benchmark entry pair (same name assumed).
+
+    ``drift_threshold`` enables the model-drift check: when both
+    entries publish ``model_over_measured`` and the ratio-of-ratios
+    leaves ``[1/(1+t), 1+t]``, the verdict is ``DRIFT`` (failing)
+    unless the wall gate already regressed (the louder finding wins).
+    """
     cur, base = _stats_of(current), _stats_of(baseline)
     if base.median <= 0.0 or cur.median <= 0.0:
         return Verdict(
@@ -131,6 +174,19 @@ def compare_benchmark(
         status, note = IMPROVED, f"{(ratio - 1.0) * 100.0:+.1f}% vs baseline"
     else:
         status, note = PASS, "within noise floor" if noise > rel_threshold else ""
+    if status != REGRESSED and drift_threshold is not None:
+        cur_model, base_model = _model_ratio(current), _model_ratio(baseline)
+        if cur_model is not None and base_model:
+            drift = cur_model / base_model - 1.0
+            if not (1.0 / (1.0 + drift_threshold)
+                    <= cur_model / base_model
+                    <= 1.0 + drift_threshold):
+                status = DRIFT
+                note = (
+                    f"model/measured {base_model:.3g} -> {cur_model:.3g} "
+                    f"({drift * 100.0:+.1f}%): analytic perfmodel no longer "
+                    f"tracks the measurement"
+                )
     return Verdict(
         name=current["name"],
         status=status,
@@ -147,10 +203,26 @@ def compare_artifacts(
     baseline: dict[str, Any],
     rel_threshold: float = DEFAULT_REL_THRESHOLD,
     iqr_factor: float = DEFAULT_IQR_FACTOR,
+    drift_threshold: float | None = DEFAULT_DRIFT_THRESHOLD,
 ) -> ComparisonResult:
-    """Compare every benchmark by name; validates both artifacts."""
+    """Compare every benchmark by name; validates both artifacts.
+
+    The model-drift check runs only when both artifacts carry the same
+    environment fingerprint: on a different machine the measured side
+    of ``model_over_measured`` legitimately changes, so drift against a
+    foreign baseline would be pure noise.  Pass ``drift_threshold=None``
+    to disable the check outright.
+    """
     validate_artifact(current, source="current")
     validate_artifact(baseline, source="baseline")
+    check_drift = drift_threshold is not None
+    if check_drift:
+        from .history import env_key  # local: history imports artifact too
+
+        check_drift = env_key(current["environment"]) == env_key(
+            baseline["environment"]
+        )
+    effective_drift = drift_threshold if check_drift else None
     cur_by_name = {e["name"]: e for e in current["benchmarks"]}
     base_by_name = {e["name"]: e for e in baseline["benchmarks"]}
 
@@ -171,7 +243,10 @@ def compare_artifacts(
             )
             continue
         verdicts.append(
-            compare_benchmark(entry, base, rel_threshold, iqr_factor)
+            compare_benchmark(
+                entry, base, rel_threshold, iqr_factor,
+                drift_threshold=effective_drift,
+            )
         )
     for name in base_by_name:
         if name not in cur_by_name:
@@ -187,5 +262,9 @@ def compare_artifacts(
                 )
             )
     return ComparisonResult(
-        verdicts=verdicts, rel_threshold=rel_threshold, iqr_factor=iqr_factor
+        verdicts=verdicts,
+        rel_threshold=rel_threshold,
+        iqr_factor=iqr_factor,
+        drift_threshold=drift_threshold,
+        drift_checked=check_drift,
     )

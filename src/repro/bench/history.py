@@ -1,0 +1,347 @@
+"""Append-only bench history: the repo's own "33.4 -> 35.3" trajectory.
+
+Section 6 of the paper is a *history*: the same sweep re-measured
+across tuning iterations, presented as sustained speed per revision
+(the 33.4 -> 35.3 Tflops arc).  One ``BENCH_*.json`` artifact is a
+point; this module persists those points across commits into
+``benchmarks/history.jsonl`` and renders the trajectory — per
+benchmark, the median wall time over time, the delta against the
+previous measurement, and whether the analytic perfmodel's
+model-over-measured ratio drifted (a drift means the model or the code
+changed character, not just speed).
+
+Rows are keyed by environment fingerprint + git revision so
+measurements from different machines never get compared as if they
+were a code change: the trajectory renderers group by environment, and
+the drift check in :mod:`repro.bench.compare` only fires when both
+artifacts come from the same fingerprint.
+
+The file is JSONL and append-only — ingesting the same artifact twice
+is a no-op (idempotent CI), and unknown row schemas raise rather than
+silently skewing the table.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable
+
+from ..io.tables import format_table
+from .artifact import validate_artifact
+
+#: Bump on breaking row-layout changes.
+HISTORY_SCHEMA = "repro.bench.history/1"
+
+#: Where CI and the CLI keep the trajectory by default.
+DEFAULT_HISTORY_PATH = Path("benchmarks") / "history.jsonl"
+
+#: Relative change of ``model_over_measured`` between consecutive rows
+#: (or artifact pairs) that counts as model drift.  Wall-clock medians
+#: on shared runners scatter ~30%, so the flag is deliberately wider.
+DEFAULT_DRIFT_THRESHOLD = 0.5
+
+#: Environment-fingerprint fields that define "the same machine".
+_ENV_KEY_FIELDS = ("python", "implementation", "platform", "machine",
+                   "cpu_count", "numpy")
+
+
+class HistoryError(ValueError):
+    """Raised for unreadable history files and unknown row schemas."""
+
+
+def env_key(environment: dict[str, Any]) -> str:
+    """Short stable hash of the fingerprint fields that identify a
+    machine (excludes the git revision: same box, any commit)."""
+    basis = json.dumps(
+        {k: environment.get(k) for k in _ENV_KEY_FIELDS}, sort_keys=True
+    )
+    return hashlib.sha256(basis.encode()).hexdigest()[:12]
+
+
+def artifact_row(artifact: dict[str, Any]) -> dict[str, Any]:
+    """Distil one validated artifact into one history row."""
+    validate_artifact(artifact, source="history ingest")
+    env = artifact["environment"]
+    benchmarks: dict[str, dict[str, Any]] = {}
+    for entry in artifact["benchmarks"]:
+        stats = entry["stats"]["wall_s"]
+        bench: dict[str, Any] = {
+            "median_s": float(stats["median"]),
+            "iqr_s": float(stats.get("iqr", 0.0)),
+            "n": int(stats.get("n", 0)),
+        }
+        ratio = entry.get("derived", {}).get("model_over_measured")
+        if isinstance(ratio, (int, float)) and not isinstance(ratio, bool):
+            bench["model_over_measured"] = float(ratio)
+        benchmarks[entry["name"]] = bench
+    return {
+        "schema": HISTORY_SCHEMA,
+        "label": artifact["label"],
+        "suite": artifact["suite"],
+        "created_unix": artifact.get("created_unix"),
+        "ingested_unix": time.time(),
+        "git_revision": env.get("git_revision"),
+        "env_key": env_key(env),
+        "seed": artifact.get("seed"),
+        "tag": artifact.get("tag"),
+        "benchmarks": benchmarks,
+    }
+
+
+def _row_key(row: dict[str, Any]) -> tuple:
+    """Idempotence key: one (machine, commit, suite, label) is one row.
+
+    Artifacts without a git revision (source tarballs) fall back to the
+    artifact creation time so repeated ingests still dedupe."""
+    return (
+        row.get("env_key"),
+        row.get("git_revision") or row.get("created_unix"),
+        row.get("suite"),
+        row.get("label"),
+    )
+
+
+def read_history(path: str | Path) -> list[dict[str, Any]]:
+    """All rows, file order (which is ingest order).  Missing file is
+    an empty history; malformed lines and foreign schemas raise."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    rows: list[dict[str, Any]] = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise HistoryError(f"{path}:{lineno}: not valid JSON: {exc}") from exc
+        if not isinstance(row, dict) or row.get("schema") != HISTORY_SCHEMA:
+            raise HistoryError(
+                f"{path}:{lineno}: schema {row.get('schema')!r} not supported "
+                f"(need {HISTORY_SCHEMA!r})"
+            )
+        rows.append(row)
+    return rows
+
+
+def ingest_artifact(
+    artifact: dict[str, Any], path: str | Path, force: bool = False
+) -> tuple[dict[str, Any], bool]:
+    """Append ``artifact``'s row to the history file.
+
+    Returns ``(row, appended)``; ``appended`` is False when a row with
+    the same (machine, commit, suite, label) key already exists and
+    ``force`` is not set — re-running CI on the same commit must not
+    duplicate points.
+    """
+    row = artifact_row(artifact)
+    existing = read_history(path)
+    if not force and any(_row_key(r) == _row_key(row) for r in existing):
+        return row, False
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as fh:
+        fh.write(json.dumps(row, sort_keys=True) + "\n")
+    return row, True
+
+
+# -- trajectory -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TrajectoryPoint:
+    """One benchmark's state in one history row, with deltas."""
+
+    benchmark: str
+    suite: str
+    env_key: str
+    git_revision: str | None
+    tag: str | None
+    seed: Any
+    median_s: float
+    iqr_s: float
+    delta: float | None           # (median / previous median) - 1
+    model_over_measured: float | None
+    model_drift: float | None     # (ratio / previous ratio) - 1
+
+    def drifted(self, threshold: float = DEFAULT_DRIFT_THRESHOLD) -> bool:
+        return self.model_drift is not None and abs(self.model_drift) > threshold
+
+
+def trajectory(
+    rows: Iterable[dict[str, Any]],
+    suite: str | None = None,
+    env: str | None = None,
+) -> dict[str, list[TrajectoryPoint]]:
+    """Per-benchmark point series (ingest order) with deltas.
+
+    Deltas compare consecutive points of the *same* benchmark on the
+    *same* environment fingerprint, so a machine change starts a fresh
+    baseline instead of reading as a regression.
+    """
+    series: dict[str, list[TrajectoryPoint]] = {}
+    last_median: dict[tuple[str, str], float] = {}
+    last_ratio: dict[tuple[str, str], float] = {}
+    for row in rows:
+        if suite is not None and row.get("suite") != suite:
+            continue
+        if env is not None and row.get("env_key") != env:
+            continue
+        for name, bench in sorted(row.get("benchmarks", {}).items()):
+            key = (row.get("env_key", ""), name)
+            median = float(bench["median_s"])
+            prev = last_median.get(key)
+            delta = (median / prev - 1.0) if prev and prev > 0 else None
+            ratio = bench.get("model_over_measured")
+            prev_ratio = last_ratio.get(key)
+            drift = None
+            if ratio is not None and prev_ratio:
+                drift = ratio / prev_ratio - 1.0
+            series.setdefault(name, []).append(
+                TrajectoryPoint(
+                    benchmark=name,
+                    suite=row.get("suite", "?"),
+                    env_key=row.get("env_key", ""),
+                    git_revision=row.get("git_revision"),
+                    tag=row.get("tag"),
+                    seed=row.get("seed"),
+                    median_s=median,
+                    iqr_s=float(bench.get("iqr_s", 0.0)),
+                    delta=delta,
+                    model_over_measured=ratio,
+                    model_drift=drift,
+                )
+            )
+            last_median[key] = median
+            if ratio is not None:
+                last_ratio[key] = ratio
+    return series
+
+
+def _sha(rev: str | None) -> str:
+    return (rev or "-")[:10]
+
+
+def _traj_rows(
+    series: dict[str, list[TrajectoryPoint]], drift_threshold: float
+) -> list[tuple]:
+    rows: list[tuple] = []
+    for name in sorted(series):
+        for i, pt in enumerate(series[name]):
+            flag = ""
+            if pt.drifted(drift_threshold):
+                flag = "DRIFT"
+            rows.append(
+                (
+                    name if i == 0 else "",
+                    i + 1,
+                    _sha(pt.git_revision),
+                    pt.tag or "-",
+                    pt.median_s * 1.0e3,
+                    f"{pt.delta * 100.0:+.1f}%" if pt.delta is not None else "-",
+                    f"{pt.model_over_measured:.3g}"
+                    if pt.model_over_measured is not None
+                    else "-",
+                    flag,
+                )
+            )
+    return rows
+
+
+_TRAJ_HEADERS = ("benchmark", "#", "revision", "tag", "median [ms]",
+                 "delta", "model/meas", "drift")
+
+
+def render_history_table(
+    rows: Iterable[dict[str, Any]],
+    fmt: str = "text",
+    suite: str | None = None,
+    env: str | None = None,
+    drift_threshold: float = DEFAULT_DRIFT_THRESHOLD,
+) -> str:
+    """The per-suite trajectory table (text or markdown).
+
+    One block per suite present in the history; each benchmark's points
+    appear in ingest order with the delta against its previous
+    measurement on the same machine and the model-vs-measured drift
+    flag — the paper's Table 1 presentation for this repo's own tuning
+    arc.
+    """
+    rows = list(rows)
+    suites = [suite] if suite is not None else sorted(
+        {r.get("suite", "?") for r in rows}
+    )
+    blocks: list[str] = []
+    for s in suites:
+        series = trajectory(rows, suite=s, env=env)
+        if not series:
+            continue
+        table_rows = _traj_rows(series, drift_threshold)
+        n_points = sum(len(v) for v in series.values())
+        if fmt == "markdown":
+            head = [f"### Trajectory — suite `{s}` ({n_points} points)", ""]
+            md = ["| " + " | ".join(_TRAJ_HEADERS) + " |",
+                  "|" + "|".join(" --- " for _ in _TRAJ_HEADERS) + "|"]
+            for r in table_rows:
+                cells = [f"{c:.4g}" if isinstance(c, float) else str(c) for c in r]
+                md.append("| " + " | ".join(cells) + " |")
+            blocks.append("\n".join(head + md))
+        else:
+            blocks.append(
+                f"# trajectory — suite {s!r} ({n_points} points)\n\n"
+                + format_table(_TRAJ_HEADERS, table_rows)
+            )
+    if not blocks:
+        return "(history is empty)"
+    return "\n\n".join(blocks)
+
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values: list[float], width: int) -> str:
+    if not values:
+        return ""
+    if len(values) > width:
+        # keep the newest points; the old tail is the least interesting
+        values = values[-width:]
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return _SPARK[0] * len(values)
+    scale = (len(_SPARK) - 1) / (hi - lo)
+    return "".join(_SPARK[int((v - lo) * scale)] for v in values)
+
+
+def render_history_plot(
+    rows: Iterable[dict[str, Any]],
+    suite: str | None = None,
+    env: str | None = None,
+    benchmarks: list[str] | None = None,
+    width: int = 48,
+) -> str:
+    """Terminal sparkline per benchmark: median wall time over ingests."""
+    series = trajectory(rows, suite=suite, env=env)
+    if benchmarks:
+        series = {k: v for k, v in series.items() if k in set(benchmarks)}
+    if not series:
+        return "(history is empty)"
+    out_rows = []
+    for name in sorted(series):
+        points = series[name]
+        medians = [p.median_s * 1.0e3 for p in points]
+        out_rows.append(
+            (
+                name,
+                len(medians),
+                f"{min(medians):.2f}..{max(medians):.2f}",
+                _sparkline(medians, width),
+            )
+        )
+    return format_table(
+        ("benchmark", "points", "median range [ms]", "trend (old -> new)"),
+        out_rows,
+    )

@@ -36,6 +36,10 @@ from ..telemetry import (
     T_OTHER,
     T_PIPE,
     InMemorySink,
+    Sample,
+    SamplerReport,
+    SamplingProfiler,
+    SpanEvent,
     Tracer,
     set_tracer,
 )
@@ -220,3 +224,60 @@ def profile_benchmark(
     finally:
         set_tracer(old)
     return attribute_profile(profiler, benchmark=bench.name, top=top)
+
+
+@dataclass
+class FlightRecording:
+    """One benchmark trial seen three ways at once: deterministic
+    cProfile attribution, the span tree (for a timeline export), and
+    the span-correlated sampling profile."""
+
+    benchmark: str
+    attribution: ProfileAttribution
+    events: list[SpanEvent]
+    samples: list[Sample]
+    sampler_report: SamplerReport
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "benchmark": self.benchmark,
+            "profile": self.attribution.as_dict(),
+            "sampler": self.sampler_report.as_dict(),
+            "n_events": len(self.events),
+        }
+
+
+def flight_record_benchmark(
+    bench: Benchmark,
+    params: dict[str, Any],
+    top: int = 15,
+    interval_s: float = 0.002,
+) -> FlightRecording:
+    """Run one trial with the full flight recorder on.
+
+    cProfile, the span tracer and the sampling profiler observe the
+    *same* trial, so the timeline, the hotspot table and the sampler's
+    phase split all describe one execution (the cProfile overhead
+    inflates wall times uniformly; relative shares survive).
+    """
+    state = bench.setup(params) if bench.setup is not None else None
+    sink = InMemorySink()
+    tracer = Tracer(enabled=True, sinks=[sink])
+    ctx = BenchContext(params=dict(params), tracer=tracer, sink=sink)
+    profiler = cProfile.Profile()
+    sampler = SamplingProfiler(tracer, interval_s=interval_s)
+    old = set_tracer(tracer)
+    try:
+        with sampler:
+            profiler.enable()
+            bench.fn(ctx, state)
+            profiler.disable()
+    finally:
+        set_tracer(old)
+    return FlightRecording(
+        benchmark=bench.name,
+        attribution=attribute_profile(profiler, benchmark=bench.name, top=top),
+        events=list(sink.events),
+        samples=list(sampler.samples),
+        sampler_report=sampler.report(),
+    )

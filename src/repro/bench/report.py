@@ -73,6 +73,30 @@ def _fmt_derived(value: Any) -> str:
     return str(value)
 
 
+def _histogram_rows(entry: dict[str, Any]) -> list[tuple]:
+    """Distribution metrics (block sizes, bytes/message) with tail
+    percentiles; p99 tolerates pre-p99 artifacts via the p90 fallback."""
+    rows = []
+    for name, inst in sorted(entry.get("metrics", {}).items()):
+        if not isinstance(inst, dict) or inst.get("type") != "histogram":
+            continue
+        rows.append(
+            (
+                name,
+                inst.get("count", 0),
+                f"{inst.get('mean', 0.0):.4g}",
+                f"{inst.get('p50', 0.0):.4g}",
+                f"{inst.get('p90', 0.0):.4g}",
+                f"{inst.get('p99', inst.get('p90', 0.0)):.4g}",
+                f"{inst.get('max', 0.0):.4g}",
+            )
+        )
+    return rows
+
+
+_HISTOGRAM_HEADERS = ("metric", "n", "mean", "p50", "p90", "p99", "max")
+
+
 def render_artifact_text(artifact: dict[str, Any]) -> str:
     """Terminal report: one section per benchmark."""
     env = artifact["environment"]
@@ -105,6 +129,9 @@ def render_artifact_text(artifact: dict[str, Any]) -> str:
                     [(k, _fmt_derived(v)) for k, v in sorted(derived.items())],
                 ),
             ]
+        hist_rows = _histogram_rows(entry)
+        if hist_rows:
+            lines += ["", format_table(_HISTOGRAM_HEADERS, hist_rows)]
     return "\n".join(lines)
 
 
@@ -162,6 +189,15 @@ def render_artifact_markdown(artifact: dict[str, Any]) -> str:
                     [(f"`{k}`", _fmt_derived(v)) for k, v in sorted(derived.items())],
                 ),
             ]
+        hist_rows = _histogram_rows(entry)
+        if hist_rows:
+            lines += [
+                "",
+                _md_table(
+                    list(_HISTOGRAM_HEADERS),
+                    [(f"`{r[0]}`", *r[1:]) for r in hist_rows],
+                ),
+            ]
     return "\n".join(lines)
 
 
@@ -183,17 +219,40 @@ def render_compare_text(result: ComparisonResult) -> str:
         f"# regression gate (threshold {result.rel_threshold * 100:.0f}%, "
         f"noise floor {result.iqr_factor:.3g} x IQR)"
     )
+    drift_line = _drift_line(result)
     table = format_table(
         ("benchmark", "status", "ratio", "base [ms]", "cur [ms]", "thresh", "note"),
         rows,
     )
-    tail = "verdict: " + ("OK" if result.ok else "REGRESSED")
-    return "\n".join([header, "", table, "", tail])
+    if result.ok:
+        tail = "verdict: OK"
+    else:
+        parts = []
+        if result.regressed:
+            parts.append(f"{len(result.regressed)} REGRESSED")
+        if result.drifted:
+            parts.append(f"{len(result.drifted)} DRIFT")
+        tail = "verdict: FAILED (" + ", ".join(parts) + ")"
+    return "\n".join([header, drift_line, "", table, "", tail])
+
+
+def _drift_line(result: ComparisonResult) -> str:
+    if result.drift_threshold is None:
+        return "model-drift check: disabled"
+    if not result.drift_checked:
+        return (
+            "model-drift check: skipped (environment fingerprints differ; "
+            "the model/measured ratio re-anchors on a new machine)"
+        )
+    return (
+        f"model-drift check: on "
+        f"(|model/measured change| > {result.drift_threshold * 100:.0f}% fails)"
+    )
 
 
 def render_compare_markdown(result: ComparisonResult) -> str:
     icon = {"PASS": "✅", "IMPROVED": "🟢", "REGRESSED": "🔴",
-            "NEW": "🆕", "MISSING": "⚠️"}
+            "NEW": "🆕", "MISSING": "⚠️", "DRIFT": "🟠"}
     rows = [
         (
             f"`{v.name}`",
@@ -204,9 +263,10 @@ def render_compare_markdown(result: ComparisonResult) -> str:
         )
         for v in result.verdicts
     ]
-    head = "## Benchmark regression gate — " + ("OK" if result.ok else "REGRESSED")
+    head = "## Benchmark regression gate — " + ("OK" if result.ok else "FAILED")
     return "\n".join(
-        [head, "", _md_table(["benchmark", "status", "ratio", "threshold", "note"], rows)]
+        [head, "", f"*{_drift_line(result)}*", "",
+         _md_table(["benchmark", "status", "ratio", "threshold", "note"], rows)]
     )
 
 

@@ -128,11 +128,16 @@ def run_suite(
     names: list[str] | None = None,
     registry: BenchmarkRegistry | None = None,
     progress=None,
+    seed: int | None = None,
+    tag: str | None = None,
 ) -> dict[str, Any]:
     """Run every benchmark in ``suite`` and return a validated artifact.
 
     ``names`` restricts the run to a subset of the suite; ``progress``
-    is an optional callable receiving one line per benchmark.
+    is an optional callable receiving one line per benchmark.  ``seed``
+    overrides the workload seed of every benchmark that takes one, and
+    ``tag`` labels the artifact (both land in the artifact root, so
+    history rows stay reproducible and searchable).
     """
     registry = registry if registry is not None else REGISTRY
     benchmarks = registry.select(suite)
@@ -150,6 +155,8 @@ def run_suite(
     entries = []
     for bench in benchmarks:
         params = bench.params_for(suite)
+        if seed is not None and "seed" in params:
+            params["seed"] = int(seed)
         entry = run_benchmark(bench, params, repeats=repeats, warmup=warmup)
         entries.append(entry)
         if progress is not None:
@@ -164,4 +171,8 @@ def run_suite(
         "environment": environment_fingerprint(),
         "benchmarks": entries,
     }
+    if seed is not None:
+        artifact["seed"] = int(seed)
+    if tag is not None:
+        artifact["tag"] = str(tag)
     return validate_artifact(artifact, source=f"suite {suite!r}")

@@ -16,7 +16,13 @@ reproduction's real code paths:
   taxonomy and :func:`render_breakdown` prints the fig. 14/16/18-style
   budget;
 * sinks — in-memory, crash-safe JSONL (through
-  :mod:`repro.io.runlog`), and streaming summary.
+  :mod:`repro.io.runlog`), and streaming summary;
+* :class:`SamplingProfiler` — background-thread sampler whose samples
+  are attributed to the *currently open span* first and to module-path
+  rules only as a fallback (the flight recorder's profiler);
+* :mod:`timeline <repro.telemetry.timeline>` — Chrome trace-event
+  export of span trees (both clock domains) and sampler ticks, for
+  ``chrome://tracing`` / Perfetto.
 
 Quick start::
 
@@ -50,6 +56,24 @@ from .phases import (
 )
 from .report import breakdown_json, render_breakdown, render_metrics
 from .sinks import InMemorySink, JSONLSink, Sink, SummarySink, read_spans
+from .sampler import (
+    SOURCE_FRAMES,
+    SOURCE_NONE,
+    SOURCE_SPAN,
+    Sample,
+    SamplerReport,
+    SamplingProfiler,
+    attribute_sample,
+    sample_records,
+)
+from .timeline import (
+    TimelineSink,
+    build_timeline,
+    sample_events,
+    timeline_events,
+    validate_timeline,
+    write_timeline,
+)
 
 __all__ = [
     "Tracer",
@@ -81,4 +105,18 @@ __all__ = [
     "render_breakdown",
     "render_metrics",
     "breakdown_json",
+    "SamplingProfiler",
+    "Sample",
+    "SamplerReport",
+    "attribute_sample",
+    "sample_records",
+    "SOURCE_SPAN",
+    "SOURCE_FRAMES",
+    "SOURCE_NONE",
+    "TimelineSink",
+    "build_timeline",
+    "timeline_events",
+    "sample_events",
+    "write_timeline",
+    "validate_timeline",
 ]

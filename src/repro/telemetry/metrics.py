@@ -101,6 +101,14 @@ class Histogram:
             raise ValueError("percentile q must be in [0, 100]")
         if self.count == 0:
             return 0.0
+        # exact at the extrema: q=0 is the observed minimum and q=100
+        # the observed maximum, never a bin edge (the bin walk below
+        # would report the *first bin's* upper edge for q=0, which for
+        # a min deep inside that bin overstates it by up to an octave)
+        if q == 0.0:
+            return self.min
+        if q == 100.0:
+            return self.max
         target = (q / 100.0) * self.count
         cum = 0
         for b in sorted(self.bins):
@@ -120,6 +128,7 @@ class Histogram:
             "max": self.max if self.count else 0.0,
             "p50": self.percentile(50.0),
             "p90": self.percentile(90.0),
+            "p99": self.percentile(99.0),
         }
 
 

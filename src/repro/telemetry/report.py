@@ -91,7 +91,7 @@ def render_metrics(metrics: Metrics) -> str:
             value = (
                 f"n={entry['count']} mean={entry['mean']:.4g} "
                 f"p50={entry['p50']:.4g} p90={entry['p90']:.4g} "
-                f"max={entry['max']:.4g}"
+                f"p99={entry['p99']:.4g} max={entry['max']:.4g}"
             )
         else:
             value = str(entry["value"])

@@ -32,6 +32,7 @@ threading a tracer handle through every constructor, mirroring the
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -134,9 +135,10 @@ class _Span:
         tr._serial += 1
         self.span_id = tr._serial
         stack = tr._stack
-        self.parent_id = stack[-1] if stack else None
+        self.parent_id = stack[-1].span_id if stack else None
         self.depth = len(stack)
-        stack.append(self.span_id)
+        tr._owner_thread = threading.get_ident()
+        stack.append(self)
         self._v0 = tr._virtual_now()
         self._t0 = time.perf_counter()
         return self
@@ -191,9 +193,10 @@ class Tracer:
         self.sinks: list = list(sinks) if sinks is not None else []
         self.virtual_clock = virtual_clock
         self.metrics = Metrics()
-        self._stack: list[int] = []
+        self._stack: list[_Span] = []
         self._serial = 0
         self._epoch = time.perf_counter()
+        self._owner_thread: int | None = None
 
     # -- spans ----------------------------------------------------------------
 
@@ -218,7 +221,7 @@ class Tracer:
             SpanEvent(
                 name=name,
                 span_id=self._serial,
-                parent_id=self._stack[-1] if self._stack else None,
+                parent_id=self._stack[-1].span_id if self._stack else None,
                 depth=len(self._stack),
                 t_start_us=(t - self._epoch) * 1.0e6,
                 dur_us=0.0,
@@ -228,6 +231,30 @@ class Tracer:
                 attrs=dict(attrs),
             )
         )
+
+    # -- introspection (the sampling profiler's view) -------------------------
+
+    def open_spans(self) -> tuple[tuple[str, str | None], ...]:
+        """Snapshot of the currently-open span stack, outermost first.
+
+        Each element is ``(name, phase)``; the phase is the span's
+        explicit ``phase=`` argument or None (the consumer resolves
+        unphased names through the span-name map).  Taking the snapshot
+        copies the list under the GIL, so a background sampler thread
+        may call this while the traced thread opens and closes spans;
+        in the worst case a sample sees a stack that is one span stale,
+        which is exactly the resolution a sampling profiler has anyway.
+        """
+        return tuple((s.name, s.phase) for s in self._stack)
+
+    @property
+    def owner_thread(self) -> int | None:
+        """``threading.get_ident()`` of the last thread to open a span.
+
+        The sampler uses this to correlate span attribution with the
+        right thread's samples; None until the first span opens.
+        """
+        return self._owner_thread
 
     # -- metric helpers (no-ops when disabled) --------------------------------
 

@@ -65,6 +65,20 @@ class TestExamplesRun:
         assert "core.block_size" in out
         assert "net.messages" in out
 
+    def test_flight_recorder_demo(self, capsys, tmp_path):
+        import json
+
+        from repro.telemetry import validate_timeline
+
+        trace = tmp_path / "trace.json"
+        out = run_example(
+            "flight_recorder_demo.py", "24", str(trace), capsys=capsys
+        )
+        assert "span attribution" in out
+        assert "sampling profile" in out
+        doc = validate_timeline(json.loads(trace.read_text()))
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
     @pytest.mark.parametrize(
         "name,args",
         [("star_cluster.py", ("64",)), ("planetesimal_accretion.py", ("40",))],

@@ -1,0 +1,200 @@
+"""Bench history store and trajectory rendering (repro.bench.history).
+
+Properties pinned here: idempotent ingest keyed by (machine, commit,
+suite, label), per-benchmark deltas computed only within one
+environment fingerprint, the model-vs-measured drift flag, and strict
+rejection of foreign or corrupt history rows.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    DEFAULT_DRIFT_THRESHOLD,
+    SCHEMA,
+    HistoryError,
+    artifact_row,
+    env_key,
+    ingest_artifact,
+    read_history,
+    render_history_plot,
+    render_history_table,
+    trajectory,
+)
+from repro.bench.stats import trial_stats
+
+ENV_A = {
+    "python": "3.12.0", "implementation": "CPython", "platform": "linux",
+    "machine": "x86_64", "cpu_count": 8, "numpy": "1.26", "git_revision": "aaaa1111",
+}
+ENV_B = {**ENV_A, "machine": "arm64", "git_revision": "bbbb2222"}
+
+
+def make_artifact(medians, label="t", suite="micro", env=ENV_A, ratios=None,
+                  seed=None, tag=None):
+    """One artifact: benchmark name -> constant-trial median seconds."""
+    ratios = ratios or {}
+    benchmarks = []
+    for name, median in sorted(medians.items()):
+        entry = {
+            "name": name,
+            "paper_ref": "fig. 0",
+            "params": {},
+            "trials": {"wall_s": [median] * 3},
+            "stats": {"wall_s": trial_stats([median] * 3).as_dict()},
+            "phases": {"wall_us": {"host": 1.0}},
+            "derived": {},
+        }
+        if name in ratios:
+            entry["derived"]["model_over_measured"] = ratios[name]
+        benchmarks.append(entry)
+    artifact = {
+        "schema": SCHEMA, "label": label, "suite": suite,
+        "created_unix": 1.7e9, "environment": dict(env), "benchmarks": benchmarks,
+    }
+    if seed is not None:
+        artifact["seed"] = seed
+    if tag is not None:
+        artifact["tag"] = tag
+    return artifact
+
+
+class TestEnvKey:
+    def test_stable_and_machine_sensitive(self):
+        assert env_key(ENV_A) == env_key(dict(ENV_A))
+        assert env_key(ENV_A) != env_key(ENV_B)
+
+    def test_ignores_git_revision(self):
+        assert env_key(ENV_A) == env_key({**ENV_A, "git_revision": "other"})
+
+
+class TestIngest:
+    def test_row_distils_artifact(self, tmp_path):
+        art = make_artifact({"k": 0.5}, ratios={"k": 1.2}, seed=7, tag="tuned")
+        row = artifact_row(art)
+        assert row["git_revision"] == "aaaa1111"
+        assert row["seed"] == 7 and row["tag"] == "tuned"
+        assert row["benchmarks"]["k"]["median_s"] == pytest.approx(0.5)
+        assert row["benchmarks"]["k"]["model_over_measured"] == pytest.approx(1.2)
+
+    def test_append_then_idempotent(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        art = make_artifact({"k": 0.5})
+        _, appended = ingest_artifact(art, path)
+        assert appended
+        _, appended = ingest_artifact(art, path)
+        assert not appended
+        assert len(read_history(path)) == 1
+
+    def test_force_appends_duplicate(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        art = make_artifact({"k": 0.5})
+        ingest_artifact(art, path)
+        _, appended = ingest_artifact(art, path, force=True)
+        assert appended
+        assert len(read_history(path)) == 2
+
+    def test_new_commit_is_a_new_row(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        ingest_artifact(make_artifact({"k": 0.5}), path)
+        env2 = {**ENV_A, "git_revision": "cccc3333"}
+        _, appended = ingest_artifact(make_artifact({"k": 0.4}, env=env2), path)
+        assert appended
+        assert len(read_history(path)) == 2
+
+    def test_missing_file_is_empty_history(self, tmp_path):
+        assert read_history(tmp_path / "absent.jsonl") == []
+
+    def test_corrupt_line_raises(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(HistoryError):
+            read_history(path)
+
+    def test_foreign_schema_raises(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        path.write_text(json.dumps({"schema": "someone.else/9"}) + "\n")
+        with pytest.raises(HistoryError):
+            read_history(path)
+
+
+def ingest_sequence(path, specs):
+    """specs: list of (medians, env, ratios) triples, distinct commits."""
+    for i, (medians, env, ratios) in enumerate(specs):
+        env = {**env, "git_revision": f"rev{i:04d}"}
+        ingest_artifact(make_artifact(medians, env=env, ratios=ratios), path)
+    return read_history(path)
+
+
+class TestTrajectory:
+    def test_deltas_against_previous_same_env(self, tmp_path):
+        rows = ingest_sequence(
+            tmp_path / "h.jsonl",
+            [({"k": 1.0}, ENV_A, None), ({"k": 0.8}, ENV_A, None)],
+        )
+        (points,) = trajectory(rows).values()
+        assert points[0].delta is None
+        assert points[1].delta == pytest.approx(-0.2)
+
+    def test_env_change_restarts_baseline(self, tmp_path):
+        """A faster machine is not an improvement: delta resets."""
+        rows = ingest_sequence(
+            tmp_path / "h.jsonl",
+            [({"k": 1.0}, ENV_A, None), ({"k": 0.5}, ENV_B, None)],
+        )
+        (points,) = trajectory(rows).values()
+        assert points[1].delta is None
+
+    def test_model_drift_flag(self, tmp_path):
+        rows = ingest_sequence(
+            tmp_path / "h.jsonl",
+            [
+                ({"k": 1.0}, ENV_A, {"k": 1.0}),
+                ({"k": 1.0}, ENV_A, {"k": 1.1}),   # 10%: within threshold
+                ({"k": 1.0}, ENV_A, {"k": 2.2}),   # 2x: drift
+            ],
+        )
+        (points,) = trajectory(rows).values()
+        assert not points[1].drifted(DEFAULT_DRIFT_THRESHOLD)
+        assert points[2].drifted(DEFAULT_DRIFT_THRESHOLD)
+        assert points[2].model_drift == pytest.approx(1.0)
+
+
+class TestRendering:
+    @pytest.fixture
+    def rows(self, tmp_path):
+        return ingest_sequence(
+            tmp_path / "h.jsonl",
+            [
+                ({"k": 1.0, "m": 0.2}, ENV_A, {"k": 1.0}),
+                ({"k": 0.5, "m": 0.2}, ENV_A, {"k": 2.5}),
+            ],
+        )
+
+    def test_table_text(self, rows):
+        text = render_history_table(rows)
+        assert "suite 'micro'" in text
+        assert "-50.0%" in text      # k's improvement
+        assert "DRIFT" in text       # k's model drift
+        assert "rev0000" in text and "rev0001" in text
+
+    def test_table_markdown(self, rows):
+        md = render_history_table(rows, fmt="markdown")
+        assert md.startswith("### Trajectory")
+        assert "| benchmark |" in md.splitlines()[2]
+
+    def test_table_suite_filter(self, rows):
+        assert render_history_table(rows, suite="absent") == "(history is empty)"
+
+    def test_plot_sparklines(self, rows):
+        text = render_history_plot(rows)
+        lines = text.splitlines()
+        assert any("k" in line for line in lines)
+        # the improved benchmark's sparkline falls: high block then low
+        k_line = next(line for line in lines if line.lstrip().startswith("k "))
+        assert "█" in k_line and "▁" in k_line
+
+    def test_plot_benchmark_filter(self, rows):
+        text = render_history_plot(rows, benchmarks=["m"])
+        assert " m " in text and " k " not in text

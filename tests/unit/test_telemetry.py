@@ -396,9 +396,20 @@ class TestHistogramPercentiles:
 
     def test_empty_histogram(self):
         h = Metrics().histogram("h")
+        assert h.percentile(0.0) == 0.0
         assert h.percentile(50.0) == 0.0
+        assert h.percentile(100.0) == 0.0
         s = h.summary()
-        assert s["p50"] == 0.0 and s["p90"] == 0.0
+        assert s["p50"] == 0.0 and s["p90"] == 0.0 and s["p99"] == 0.0
+
+    def test_extrema_are_exact_not_bin_edges(self):
+        """q=0/q=100 report the observed min/max even when both sit
+        deep inside a bin (the bin walk would say 8 for a min of 5)."""
+        h = Metrics().histogram("h")
+        for v in (5.0, 6.0, 7.0, 100.0):
+            h.observe(v)
+        assert h.percentile(0.0) == 5.0
+        assert h.percentile(100.0) == 100.0
 
     def test_single_observation_single_bucket(self):
         h = Metrics().histogram("h")
@@ -434,5 +445,6 @@ class TestHistogramPercentiles:
         s = h.summary()
         assert s["p50"] in (2.0, 4.0)
         assert s["p90"] == 16.0
+        assert s["p99"] == 16.0
         text = render_metrics(m)
-        assert "p50=" in text and "p90=" in text
+        assert "p50=" in text and "p90=" in text and "p99=" in text
