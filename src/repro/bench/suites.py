@@ -162,6 +162,58 @@ def emulated_host_force(ctx: BenchContext, state: dict[str, Any]) -> dict[str, A
     }
 
 
+# -- emulation-mode datapath comparison (section 3.4) ----------------------
+
+
+def _emulator_force_setup(params: dict[str, Any]) -> dict[str, Any]:
+    system = plummer_model(params["n"], seed=params["seed"])
+    emus = {}
+    for mode in ("batched", "faithful"):
+        emu = Grape6Emulator(_EPS2, boards=params["boards"], emulation_mode=mode)
+        emu.set_j_particles(system.pos, system.vel, system.mass)
+        emus[mode] = emu
+    return {"system": system, "emus": emus, "idx": np.arange(system.n)}
+
+
+@REGISTRY.register(
+    name="emulator_force",
+    title="emulated force call: batched vs faithful datapath",
+    paper_ref="section 3.4 (partition-independence fast path)",
+    setup=_emulator_force_setup,
+    suites={
+        "micro": {"n": 48, "boards": 1, "calls": 1, "seed": DEFAULT_SEED},
+        "smoke": {"n": 96, "boards": 1, "calls": 2, "seed": DEFAULT_SEED},
+        "full": {"n": 192, "boards": 2, "calls": 3, "seed": DEFAULT_SEED},
+    },
+)
+def emulator_force(ctx: BenchContext, state: dict[str, Any]) -> dict[str, Any]:
+    """Times ``forces_on`` in both emulation modes on the same inputs,
+    so the artifact tracks the batched speedup *and* the faithful-path
+    cost trajectory, and asserts their bit-identity on every trial."""
+    system, emus, idx = state["system"], state["emus"], state["idx"]
+    calls = ctx.params["calls"]
+    timings: dict[str, float] = {}
+    results: dict[str, Any] = {}
+    for mode, emu in emus.items():
+        t0 = time.perf_counter()
+        for _ in range(calls):
+            with ctx.tracer.span("grape.force", phase=T_PIPE, mode=mode):
+                results[mode] = emu.forces_on(system.pos, system.vel, idx)
+        timings[mode] = time.perf_counter() - t0
+    bit_identical = all(
+        np.array_equal(getattr(results["batched"], f), getattr(results["faithful"], f))
+        for f in ("acc", "jerk", "pot")
+    )
+    interactions = results["batched"].interactions
+    return {
+        "interactions_per_call": interactions,
+        "batched_us_per_call": timings["batched"] * 1.0e6 / calls,
+        "faithful_us_per_call": timings["faithful"] * 1.0e6 / calls,
+        "batched_speedup": timings["faithful"] / max(timings["batched"], 1e-12),
+        "bit_identical": float(bit_identical),
+    }
+
+
 # -- simulated cluster speed (figs. 15/16) ---------------------------------
 
 

@@ -39,6 +39,9 @@ class Grape6Library:
         "emulator" or "host".
     boards:
         Number of emulated boards (emulator backend).
+    emulation_mode:
+        Emulator datapath, "batched" (default) or "faithful" — see
+        :class:`repro.hardware.system.Grape6Emulator`.
     """
 
     def __init__(
@@ -47,6 +50,7 @@ class Grape6Library:
         eps2: float,
         backend: str = "emulator",
         boards: int = 1,
+        emulation_mode: str = "batched",
     ) -> None:
         if n_max < 1:
             raise ValueError("n_max must be positive")
@@ -72,7 +76,9 @@ class Grape6Library:
         if backend == "emulator":
             from ..hardware.system import Grape6Emulator
 
-            self._emulator = Grape6Emulator(eps2, boards=boards)
+            self._emulator = Grape6Emulator(
+                eps2, boards=boards, emulation_mode=emulation_mode
+            )
         else:
             self._emulator = None
 
@@ -215,7 +221,7 @@ class Grape6Library:
         emu = self._emulator
         k = emu.n_chips
         for c, chip in enumerate(emu._all_chips):
-            sel = idx[np.arange(idx.size) % k == c]
+            sel = idx[c::k]  # round-robin stripe, zero-copy view
             chip.load_j_particles(
                 sel,
                 self._x[sel],
@@ -236,31 +242,10 @@ class Grape6Library:
         self._dirty = False
 
     def _emulator_calc(self, xi, vi, indices) -> ForceJerkResult:
-        """Emulated force with on-chip prediction to ti."""
-        from ..hardware.blockfloat import BlockFloatOverflow
-        from ..hardware.summation import reduce_partials
+        """Emulated force with on-chip prediction to ti.
 
-        emu = self._emulator
-        xi_q = emu.formats.pos.quantize(xi)
-        vi_w = emu.formats.word.round(vi)
-        exponents = emu._initial_exponents(xi, vi, indices)
-        i_index = np.asarray(indices, dtype=np.int64) if indices is not None else None
-        for _ in range(16):
-            try:
-                partial = reduce_partials(
-                    board.partial_forces(xi_q, vi_w, exponents, t=self._ti, i_index=i_index)
-                    for board in emu.boards
-                )
-                acc, jerk, pot = emu._to_float(partial, exponents)
-                break
-            except BlockFloatOverflow:
-                emu.stats.exponent_retries += 1
-                exponents = exponents.bump(8)
-        else:  # pragma: no cover
-            raise BlockFloatOverflow("exponent retry loop failed to converge")
-        emu._remember_exponents(indices, exponents)
-        emu.stats.force_evaluations += 1
-        n_i = xi.shape[0]
-        interactions = n_i * emu._n_j - (n_i if indices is not None else 0)
-        emu.stats.interactions += interactions
-        return ForceJerkResult(acc=acc, jerk=jerk, pot=pot, interactions=interactions)
+        Delegates to the emulator's own retry loop (which dispatches on
+        its emulation mode); the on-chip predictor pipelines extrapolate
+        the stored-format coefficients to ``ti``.
+        """
+        return self._emulator.forces_on(xi, vi, indices, t=self._ti)

@@ -110,15 +110,49 @@ class BlockFloatAccumulator:
 
         Raises :class:`BlockFloatOverflow` if the total exceeds the
         64-bit register (this is where the retry loop triggers).
+
+        This is the faithful-path conversion: ``total`` holds exact
+        (object-dtype) big integers from :func:`exact_int_sum`, so the
+        range check runs elementwise on Python ints — but in one
+        vectorised ``np.any`` rather than a Python generator loop.
+        The batched datapath uses :meth:`to_float_lanes` instead,
+        which never leaves native int64.
         """
         total_obj = np.asarray(total, dtype=object)
         limit = 2**63
-        flat = np.abs(total_obj.reshape(-1))
-        if any(int(v) >= limit for v in flat):
+        if total_obj.size and bool(np.any(np.abs(total_obj) >= limit)):
             raise BlockFloatOverflow("accumulated total overflows the declared exponent")
         as_float = total_obj.astype(np.float64)
         q = np.ldexp(1.0, (self.exponents - FRAC_BITS).astype(np.int64))
         return np.asarray(as_float * q)
+
+    def to_float_lanes(self, hi: np.ndarray, lo: np.ndarray) -> np.ndarray:
+        """Range-check and convert a carry-save total (see
+        :func:`repro.hardware.fixedpoint.carry_save_sum`) to float64.
+
+        The exact total is ``hi * 2**32 + lo``.  After normalising the
+        carry out of the low lane, the total fits the signed 64-bit
+        register iff the carried high lane lies in ``[-2^31, 2^31)``
+        (the faithful path's ``|total| >= 2^63`` check, including the
+        ``-2^63`` edge the two's-complement register technically holds
+        but the hardware flags).  The whole check is native int64
+        numpy — no Python-int loop — and for in-range totals the int64
+        recombination plus float64 cast rounds identically (nearest
+        even) to the faithful path's big-int-to-float conversion, so
+        the two paths stay bit-identical.
+        """
+        hi = np.asarray(hi, dtype=np.int64)
+        lo = np.asarray(lo, dtype=np.int64)
+        carry = lo >> np.int64(32)
+        lo_rem = lo & np.int64(0xFFFFFFFF)
+        hi_tot = hi + carry
+        half = np.int64(2**31)
+        bad = (hi_tot >= half) | (hi_tot < -half) | ((hi_tot == -half) & (lo_rem == 0))
+        if np.any(bad):
+            raise BlockFloatOverflow("accumulated total overflows the declared exponent")
+        total = hi_tot * np.int64(2**32) + lo_rem
+        q = np.ldexp(1.0, (self.exponents - FRAC_BITS).astype(np.int64))
+        return np.asarray(total.astype(np.float64) * q)
 
 
 def block_float_sum(

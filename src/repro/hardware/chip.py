@@ -101,6 +101,29 @@ class GrapeChip:
             return self.memory.pos_q, self.memory.vel
         return predict_memory(self.memory, t)
 
+    # -- cycle accounting -----------------------------------------------------
+
+    def charge_block(self, n_i: int, n_j: int | None = None) -> None:
+        """Charge the cycles one i-block costs on this chip.
+
+        Used by the batched datapath, which computes the forces outside
+        the chip but must account machine time as if the chip had
+        streamed its memory itself: ``ceil(n_i / iparallel)`` passes,
+        ``vmp_ways`` clocks per stored j-particle per pass — the same
+        arithmetic the faithful :meth:`partial_forces` schedule accrues
+        pass by pass.
+        """
+        n_j = self.memory.n if n_j is None else n_j
+        if n_i <= 0 or n_j == 0:
+            return
+        passes = -(-n_i // self.config.iparallel)
+        cycles = passes * self.config.vmp_ways * n_j
+        self.cycles += cycles
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.count("grape.pipeline_passes", passes)
+            tracer.count("grape.cycles", cycles)
+
     # -- force side ----------------------------------------------------------
 
     def partial_forces(

@@ -13,6 +13,14 @@ point buys two things the paper relies on:
 summation used by the block-floating-point accumulator: int64 inputs
 are split into 32-bit halves whose partial sums cannot overflow, and
 the halves are recombined in Python integers (exact, unbounded).
+
+``carry_save_sum`` is the vectorised sibling used by the batched
+emulator datapath: it performs the same 32-bit split but keeps the two
+int64 lane sums *unrecombined* (a carry-save representation), so the
+whole reduction stays in native int64 arrays.  The lanes represent the
+exact value ``hi * 2**32 + lo``; recombination — and the only place the
+value could exceed 64 bits — is deferred to
+:meth:`repro.hardware.blockfloat.BlockFloatAccumulator.to_float_lanes`.
 """
 
 from __future__ import annotations
@@ -124,3 +132,40 @@ def exact_int_sum(values: np.ndarray, axis: int = 0) -> np.ndarray:
         # numpy scalars, whose arithmetic wraps at 64 bits)
         return int(hi_sum) * (2**32) + int(lo_sum)
     return np.asarray(hi_sum.astype(object) * (2**32) + lo_sum.astype(object))
+
+
+def carry_save_sum(values: np.ndarray, axis: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Exact int64 carry-save summation along an axis.
+
+    The same 32-bit split as :func:`exact_int_sum`, but the two lane
+    sums are returned as int64 arrays instead of being recombined into
+    big integers: the result represents ``hi * 2**32 + lo`` exactly,
+    with ``lo`` the (non-negative) sum of unsigned low halves and
+    ``hi`` the sum of arithmetic high halves.  Exact for fewer than
+    2^31 addends — far beyond any j-memory the hardware supports.
+    """
+    v = np.asarray(values)
+    if v.dtype != np.int64:
+        raise TypeError("carry_save_sum expects int64 input")
+    if v.shape[axis] >= 2**31:
+        raise ValueError("too many addends for the 32-bit split")
+    lo = (v & np.int64(0xFFFFFFFF)).astype(np.int64)  # in [0, 2^32)
+    hi = v >> np.int64(32)  # arithmetic shift: floor division by 2^32
+    return (
+        np.asarray(hi.sum(axis=axis, dtype=np.int64)),
+        np.asarray(lo.sum(axis=axis, dtype=np.int64)),
+    )
+
+
+def combine_lanes_exact(hi: np.ndarray, lo: np.ndarray) -> np.ndarray:
+    """Recombine carry-save lanes into exact (object dtype) integers.
+
+    Reference/cross-check helper: ``hi * 2**32 + lo`` in unbounded
+    Python-int arithmetic, the value :func:`exact_int_sum` would have
+    produced directly.
+    """
+    hi_a = np.asarray(hi)
+    lo_a = np.asarray(lo)
+    if hi_a.shape == () and lo_a.shape == ():
+        return int(hi_a) * (2**32) + int(lo_a)
+    return np.asarray(hi_a.astype(object) * (2**32) + lo_a.astype(object))

@@ -55,6 +55,10 @@ class JParticleMemory:
         #: Host-side indices of the stored particles (for bookkeeping
         #: and self-interaction exclusion).
         self.host_index = np.zeros(0, dtype=np.int64)
+        #: Write generation, bumped on every (re)load.  Consumers that
+        #: cache gathered views of many memories (the batched emulator
+        #: datapath) key their caches on the sum of these counters.
+        self.version: int = 0
 
     def load(
         self,
@@ -86,6 +90,39 @@ class JParticleMemory:
         self.jerk = self.word_format.round(jdot) if jdot is not None else zeros.copy()
         self.snap = self.word_format.round(snap) if snap is not None else zeros.copy()
         self.t0 = np.asarray(t0, dtype=np.float64).copy() if t0 is not None else np.zeros(n)
+        self.version += 1
+        get_tracer().count("grape.jmem_writes", n)
+
+    def load_preformatted(
+        self,
+        host_index: np.ndarray,
+        pos_q: np.ndarray,
+        vel: np.ndarray,
+        mass: np.ndarray,
+    ) -> None:
+        """Load storage-format data quantised/rounded by the caller.
+
+        The host library quantises the *whole* j-set once and stripes
+        views of the result into the chip memories; since the storage
+        formats are elementwise, the contents are identical to per-chip
+        :meth:`load` calls.  Higher derivatives and ``t0`` reset to
+        zero (pure force-evaluation mode), exactly as :meth:`load`
+        defaults them.
+        """
+        n = pos_q.shape[0]
+        if n > self.capacity:
+            raise ValueError(f"{n} particles exceed memory capacity {self.capacity}")
+        self.n = n
+        self.host_index = np.asarray(host_index, dtype=np.int64).copy()
+        self.pos_q = np.asarray(pos_q, dtype=np.int64)
+        self.vel = np.asarray(vel, dtype=np.float64)
+        self.mass = np.asarray(mass, dtype=np.float64)
+        zeros = np.zeros((n, 3))
+        self.acc = zeros
+        self.jerk = zeros.copy()
+        self.snap = zeros.copy()
+        self.t0 = np.zeros(n)
+        self.version += 1
         get_tracer().count("grape.jmem_writes", n)
 
     def __len__(self) -> int:

@@ -6,6 +6,8 @@ import pytest
 from repro.hardware.fixedpoint import (
     FixedPointFormat,
     FixedPointOverflow,
+    carry_save_sum,
+    combine_lanes_exact,
     exact_int_sum,
 )
 
@@ -97,3 +99,61 @@ class TestExactIntSum:
         for parts in (2, 3, 7):
             partial = sum(exact_int_sum(v[p::parts]) for p in range(parts))
             assert partial == total
+
+
+class TestCarrySaveSum:
+    """The two-lane int64 reduction of the batched datapath must agree
+    with the big-integer reference reduction everywhere — including at
+    int64-extreme inputs, where a naive int64 sum would wrap."""
+
+    def test_agrees_with_exact_int_sum_random(self):
+        rng = np.random.default_rng(4)
+        v = rng.integers(-(2**62), 2**62, (64, 37), dtype=np.int64)
+        for axis in (0, 1):
+            hi, lo = carry_save_sum(v, axis=axis)
+            np.testing.assert_array_equal(
+                combine_lanes_exact(hi, lo), exact_int_sum(v, axis=axis)
+            )
+
+    def test_agrees_at_int64_extremes(self):
+        extremes = np.array(
+            [
+                np.iinfo(np.int64).max,
+                np.iinfo(np.int64).min,
+                np.iinfo(np.int64).max,
+                np.iinfo(np.int64).min + 1,
+                -1,
+                0,
+                1,
+                2**62,
+                -(2**62),
+                0x7FFFFFFF00000001,
+                -0x7FFFFFFF00000001,
+            ],
+            dtype=np.int64,
+        )
+        hi, lo = carry_save_sum(extremes)
+        assert combine_lanes_exact(hi, lo) == exact_int_sum(extremes)
+        assert combine_lanes_exact(hi, lo) == sum(int(x) for x in extremes)
+
+    def test_sum_beyond_int64_range_stays_exact(self):
+        # 100 copies of int64 max: the true total needs ~70 bits
+        v = np.full(100, np.iinfo(np.int64).max, dtype=np.int64)
+        hi, lo = carry_save_sum(v)
+        assert combine_lanes_exact(hi, lo) == 100 * int(np.iinfo(np.int64).max)
+
+    def test_partition_invariance_in_lanes(self):
+        rng = np.random.default_rng(5)
+        v = rng.integers(-(2**62), 2**62, 513, dtype=np.int64)
+        hi, lo = carry_save_sum(v)
+        total = combine_lanes_exact(hi, lo)
+        for parts in (2, 5):
+            split = sum(
+                combine_lanes_exact(*carry_save_sum(v[p::parts]))
+                for p in range(parts)
+            )
+            assert split == total
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(TypeError):
+            carry_save_sum(np.array([1.0, 2.0]))

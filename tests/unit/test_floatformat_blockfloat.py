@@ -128,3 +128,57 @@ class TestBlockFloatSum:
         contribs = np.full(100, 1.0)
         total = block_float_sum(contribs, np.array(1, dtype=np.int64))
         assert float(total) == pytest.approx(100.0)
+
+
+class TestToFloatLanes:
+    """The carry-save conversion of the batched datapath must round and
+    range-check exactly like the big-integer ``to_float``."""
+
+    def _both(self, values):
+        from repro.hardware.fixedpoint import carry_save_sum, exact_int_sum
+
+        acc = BlockFloatAccumulator(np.zeros(values.shape[1:], dtype=np.int64))
+        ref = acc.to_float(exact_int_sum(values, axis=0))
+        got = acc.to_float_lanes(*carry_save_sum(values, axis=0))
+        return ref, got
+
+    def test_matches_object_path(self):
+        rng = np.random.default_rng(6)
+        v = rng.integers(-(2**61), 2**61, (40, 7), dtype=np.int64)
+        ref, got = self._both(v)
+        np.testing.assert_array_equal(ref, got)
+
+    def test_matches_near_register_limit(self):
+        # column totals 2^63 - 1 and -(2^63) + 1: the register extremes
+        v = np.array(
+            [[2**62, -(2**62)], [2**62 - 1, -(2**62) + 1]], dtype=np.int64
+        )
+        ref, got = self._both(v)
+        np.testing.assert_array_equal(ref, got)
+
+    def test_overflow_raised_like_object_path(self):
+        from repro.hardware.fixedpoint import carry_save_sum
+
+        acc = BlockFloatAccumulator(np.array(0, dtype=np.int64))
+        over = np.array([2**62, 2**62], dtype=np.int64)  # total = 2^63
+        with pytest.raises(BlockFloatOverflow):
+            acc.to_float(sum(int(x) for x in over))
+        with pytest.raises(BlockFloatOverflow):
+            acc.to_float_lanes(*carry_save_sum(over))
+
+    def test_negative_register_edge(self):
+        # -2^63 is representable in two's complement but flagged by the
+        # hardware; both paths must raise
+        from repro.hardware.fixedpoint import carry_save_sum
+
+        acc = BlockFloatAccumulator(np.array(0, dtype=np.int64))
+        edge = np.array([-(2**62), -(2**62)], dtype=np.int64)
+        with pytest.raises(BlockFloatOverflow):
+            acc.to_float(np.asarray([-(2**63)], dtype=object))
+        with pytest.raises(BlockFloatOverflow):
+            acc.to_float_lanes(*carry_save_sum(edge))
+        # one quantum inside the edge converts fine on both paths
+        inside = np.array([-(2**62), -(2**62) + 1], dtype=np.int64)
+        ref = acc.to_float(np.asarray(-(2**63) + 1, dtype=object))
+        got = acc.to_float_lanes(*carry_save_sum(inside))
+        np.testing.assert_array_equal(np.asarray(ref), got)

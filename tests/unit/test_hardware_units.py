@@ -154,7 +154,7 @@ class TestChipAndHierarchy:
         x, v, m = tiny_setup(16, seed=8)
         emu.set_j_particles(x, v, m)
         emu.forces_on(x, v, np.arange(16))
-        assert len(emu._exp_cache) == 16
+        assert emu.exp_cache_entries == 16
         # second call must produce identical results via the cache
         res2 = emu.forces_on(x, v, np.arange(16))
         res3 = emu.forces_on(x, v, np.arange(16))
