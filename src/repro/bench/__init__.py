@@ -33,6 +33,7 @@ from .artifact import (
     write_artifact,
 )
 from .compare import (
+    CALIBRATED_DRIFT_THRESHOLD,
     DEFAULT_DRIFT_THRESHOLD,
     DRIFT,
     IMPROVED,
@@ -54,11 +55,13 @@ from .history import (
     artifact_row,
     env_key,
     ingest_artifact,
+    prune_history,
     read_history,
     render_history_plot,
     render_history_table,
     trajectory,
 )
+from .comm import CommCapture, capture_comm_ledger
 from .profiling import (
     ATTRIBUTION_RULES,
     FlightRecording,
@@ -96,6 +99,7 @@ __all__ = [
     "MISSING",
     "DRIFT",
     "DEFAULT_DRIFT_THRESHOLD",
+    "CALIBRATED_DRIFT_THRESHOLD",
     "Verdict",
     "ComparisonResult",
     "compare_artifacts",
@@ -108,10 +112,13 @@ __all__ = [
     "artifact_row",
     "env_key",
     "ingest_artifact",
+    "prune_history",
     "read_history",
     "render_history_table",
     "render_history_plot",
     "trajectory",
+    "CommCapture",
+    "capture_comm_ledger",
     "ATTRIBUTION_RULES",
     "Hotspot",
     "ProfileAttribution",

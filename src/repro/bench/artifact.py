@@ -22,6 +22,8 @@ import json
 from pathlib import Path
 from typing import Any
 
+from ..parallel.ledger import COMM_LEDGER_SCHEMA
+
 #: Bump on breaking layout changes; the comparator refuses mismatches.
 SCHEMA = "repro.bench/1"
 
@@ -83,6 +85,23 @@ def validate_artifact(obj: Any, source: str = "artifact") -> dict[str, Any]:
             raise ArtifactError(
                 f"{source}: benchmarks[{i}] phases must carry a 'wall_us' split"
             )
+        comm = entry.get("comm")
+        if comm is not None:
+            if not isinstance(comm, dict):
+                raise ArtifactError(
+                    f"{source}: benchmarks[{i}] 'comm' must be an object"
+                )
+            if comm.get("schema") != COMM_LEDGER_SCHEMA:
+                raise ArtifactError(
+                    f"{source}: benchmarks[{i}] comm schema "
+                    f"{comm.get('schema')!r} not supported "
+                    f"(need {COMM_LEDGER_SCHEMA!r})"
+                )
+            if not isinstance(comm.get("networks"), list):
+                raise ArtifactError(
+                    f"{source}: benchmarks[{i}] comm must carry a "
+                    "'networks' list"
+                )
     return obj
 
 

@@ -18,8 +18,17 @@ import json
 import sys
 from typing import Any, Sequence
 
+from ..perfmodel.calibrate import (
+    DEFAULT_CALIBRATION_PATH,
+    CalibrationError,
+    calibrate_artifacts,
+    load_calibration,
+    merge_calibration,
+    save_calibration,
+)
 from ..telemetry import write_timeline
 from .artifact import ArtifactError, read_artifact, write_artifact
+from .comm import capture_comm_ledger
 from .compare import (
     DEFAULT_DRIFT_THRESHOLD,
     DEFAULT_IQR_FACTOR,
@@ -30,6 +39,7 @@ from .history import (
     DEFAULT_HISTORY_PATH,
     HistoryError,
     ingest_artifact,
+    prune_history,
     read_history,
     render_history_plot,
     render_history_table,
@@ -75,13 +85,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     current = read_artifact(args.current)
     baseline = read_artifact(args.baseline)
+    calibration = (
+        load_calibration(args.calibration) if args.calibration else None
+    )
     result = compare_artifacts(
         current,
         baseline,
         rel_threshold=args.threshold,
         iqr_factor=args.iqr_factor,
         drift_threshold=None if args.no_drift else args.drift_threshold,
+        calibration=calibration,
     )
+    if result.calibrated:
+        print(
+            f"calibrated environment: drift threshold tightened to "
+            f"{result.drift_threshold:.0%}",
+            file=sys.stderr,
+        )
     if args.format == "json":
         print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
     elif args.format == "markdown":
@@ -150,6 +170,64 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    artifacts = [read_artifact(p) for p in args.artifacts]
+    update = calibrate_artifacts(artifacts)
+    calibration = merge_calibration(load_calibration(args.out), update)
+    if args.dry_run:
+        print(json.dumps(update, indent=2, sort_keys=True))
+        return 0
+    save_calibration(calibration, args.out)
+    for key, env in update["environments"].items():
+        nics = ", ".join(
+            f"{name}: flight {fit.get('barrier_flight_us', float('nan')):.1f} us"
+            + (
+                f", rtt {fit['rtt_latency_us']:.0f} us @ "
+                f"{fit['bandwidth_mbs']:.0f} MB/s"
+                if "rtt_latency_us" in fit
+                else ""
+            )
+            for name, fit in sorted(env["nics"].items())
+        ) or "(no comm data)"
+        scale = env.get("host_scale")
+        print(f"env {key}: {env['n_artifacts']} artifact(s); {nics}")
+        if scale is not None:
+            print(f"env {key}: host scale {scale:.3g} "
+                  f"(model us -> measured us)")
+        for name, anchor in sorted(env["model_anchors"].items()):
+            print(f"env {key}: anchor {name}: model/measured {anchor:.3g}")
+    print(f"wrote {args.out} "
+          f"({len(calibration['environments'])} environment(s))")
+    return 0
+
+
+def _cmd_ledger(args: argparse.Namespace) -> int:
+    try:
+        bench = REGISTRY.get(args.bench)
+        params = bench.params_for(args.suite)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        capture = capture_comm_ledger(bench, params)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.out:
+        path = capture.write(args.out)
+        print(f"wrote {path} ({len(capture.ledgers)} network ledger(s))")
+    else:
+        print(json.dumps(capture.as_dict(), indent=2, sort_keys=True))
+    if args.timeline:
+        path = capture.write_timeline(args.timeline)
+        print(
+            f"wrote {path} ({len(capture.trace_events)} comm events); "
+            f"load in chrome://tracing or https://ui.perfetto.dev",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_history(args: argparse.Namespace) -> int:
     if args.history_command == "ingest":
         appended_any = False
@@ -167,6 +245,21 @@ def _cmd_history(args: argparse.Namespace) -> int:
             )
         rows = read_history(args.history)
         print(f"{args.history}: {len(rows)} rows")
+        return 0
+    if args.history_command == "prune":
+        if not args.drop_env and not args.keep_env and args.keep_last is None:
+            print("error: nothing to prune (pass --drop-env/--keep-env "
+                  "and/or --keep-last)", file=sys.stderr)
+            return 2
+        kept, dropped = prune_history(
+            args.history,
+            drop_envs=args.drop_env or (),
+            keep_envs=args.keep_env or (),
+            keep_last=args.keep_last,
+            dry_run=args.dry_run,
+        )
+        verb = "would drop" if args.dry_run else "dropped"
+        print(f"{args.history}: {verb} {dropped} row(s), kept {kept}")
         return 0
     rows = read_history(args.history)
     if args.history_command == "table":
@@ -259,9 +352,41 @@ def build_parser() -> argparse.ArgumentParser:
                        "default 0.5)")
     p_cmp.add_argument("--no-drift", action="store_true",
                        help="disable the model-drift check")
+    p_cmp.add_argument("--calibration", default=None, metavar="PATH",
+                       help="calibration file (bench calibrate); when it "
+                       "covers the current environment the drift threshold "
+                       "tightens to 10%%")
     p_cmp.add_argument("--format", choices=("text", "markdown", "json"),
                        default="text")
     p_cmp.set_defaults(func=_cmd_compare)
+
+    p_cal = sub.add_parser(
+        "calibrate",
+        help="fit perfmodel constants from BENCH_*.json artifacts "
+        "(ledger-fed least squares, keyed by environment)")
+    p_cal.add_argument("artifacts", nargs="+",
+                       help="artifact files to fit from")
+    p_cal.add_argument("--out", default=str(DEFAULT_CALIBRATION_PATH),
+                       help=f"calibration file to merge into "
+                       f"(default {DEFAULT_CALIBRATION_PATH})")
+    p_cal.add_argument("--dry-run", action="store_true",
+                       help="print the fit without writing")
+    p_cal.set_defaults(func=_cmd_calibrate)
+
+    p_led = sub.add_parser(
+        "ledger",
+        help="capture one benchmark trial's comm ledger (per-link "
+        "traffic, barrier straggler attribution, exchanges)")
+    p_led.add_argument("--bench", default="cluster_speed",
+                       help="benchmark to capture (must attach a "
+                       "simulated network)")
+    p_led.add_argument("--suite", default="smoke")
+    p_led.add_argument("--out", default=None, metavar="PATH",
+                       help="ledger JSON path; stdout if omitted")
+    p_led.add_argument("--timeline", default=None, metavar="PATH",
+                       help="also write the trial's spans + comm lanes "
+                       "as Chrome trace-event JSON")
+    p_led.set_defaults(func=_cmd_ledger)
 
     p_rep = sub.add_parser("report", help="render an artifact")
     p_rep.add_argument("artifact")
@@ -326,6 +451,22 @@ def build_parser() -> argparse.ArgumentParser:
     _hist_common(p_plot)
     p_plot.set_defaults(func=_cmd_history)
 
+    p_prune = hist_sub.add_parser(
+        "prune", help="drop retired environments / trim old rows")
+    p_prune.add_argument("--drop-env", action="append", metavar="KEY",
+                         help="drop every row of this environment "
+                         "fingerprint key (repeatable)")
+    p_prune.add_argument("--keep-env", action="append", metavar="KEY",
+                         help="keep only rows of these environment keys "
+                         "(repeatable; mutually exclusive with --drop-env)")
+    p_prune.add_argument("--keep-last", type=int, default=None, metavar="N",
+                         help="keep only the newest N rows per "
+                         "(env, suite, label) series")
+    p_prune.add_argument("--dry-run", action="store_true",
+                         help="report what would be dropped without writing")
+    _hist_common(p_prune)
+    p_prune.set_defaults(func=_cmd_history)
+
     p_list = sub.add_parser("list", help="list registered benchmarks")
     p_list.add_argument("--format", choices=("text", "json"), default="text")
     p_list.set_defaults(func=_cmd_list)
@@ -338,7 +479,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (ArtifactError, HistoryError) as exc:
+    except (ArtifactError, HistoryError, CalibrationError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except BrokenPipeError:

@@ -60,6 +60,11 @@ DEFAULT_IQR_FACTOR = 3.0
 #: virtual-clock benchmarks (deterministic measured side) can be held
 #: much tighter with ``--drift-threshold``.
 DEFAULT_DRIFT_THRESHOLD = 0.5
+#: Drift threshold applied instead when the current artifact's
+#: environment has a ledger-fed calibration entry
+#: (:mod:`repro.perfmodel.calibrate`): on a machine the model was
+#: actually fitted to, the ratio is expected stable to 10%.
+CALIBRATED_DRIFT_THRESHOLD = 0.1
 
 
 @dataclass(frozen=True)
@@ -101,6 +106,9 @@ class ComparisonResult:
     #: False when the drift check was skipped (different environment
     #: fingerprints — the ratio legitimately re-anchors on a new box).
     drift_checked: bool = False
+    #: True when the current environment had a calibration entry and
+    #: the tightened :data:`CALIBRATED_DRIFT_THRESHOLD` applied.
+    calibrated: bool = False
 
     @property
     def regressed(self) -> list[Verdict]:
@@ -124,6 +132,7 @@ class ComparisonResult:
             "iqr_factor": self.iqr_factor,
             "drift_threshold": self.drift_threshold,
             "drift_checked": self.drift_checked,
+            "calibrated": self.calibrated,
             "ok": self.ok,
             "verdicts": [v.as_dict() for v in self.verdicts],
         }
@@ -204,6 +213,7 @@ def compare_artifacts(
     rel_threshold: float = DEFAULT_REL_THRESHOLD,
     iqr_factor: float = DEFAULT_IQR_FACTOR,
     drift_threshold: float | None = DEFAULT_DRIFT_THRESHOLD,
+    calibration: dict[str, Any] | None = None,
 ) -> ComparisonResult:
     """Compare every benchmark by name; validates both artifacts.
 
@@ -212,16 +222,31 @@ def compare_artifacts(
     of ``model_over_measured`` legitimately changes, so drift against a
     foreign baseline would be pure noise.  Pass ``drift_threshold=None``
     to disable the check outright.
+
+    ``calibration`` is a loaded calibration document
+    (:func:`repro.perfmodel.calibrate.load_calibration`); when it
+    covers the current environment the drift threshold tightens to
+    ``min(drift_threshold, CALIBRATED_DRIFT_THRESHOLD)`` — on a machine
+    the model was fitted to, 50% slack would hide real divergence.
     """
     validate_artifact(current, source="current")
     validate_artifact(baseline, source="baseline")
     check_drift = drift_threshold is not None
+    calibrated = False
     if check_drift:
         from .history import env_key  # local: history imports artifact too
 
         check_drift = env_key(current["environment"]) == env_key(
             baseline["environment"]
         )
+        if check_drift and calibration is not None:
+            from ..perfmodel.calibrate import calibrated_environment
+
+            calibrated = calibrated_environment(
+                calibration, current["environment"]) is not None
+            if calibrated:
+                drift_threshold = min(
+                    drift_threshold, CALIBRATED_DRIFT_THRESHOLD)
     effective_drift = drift_threshold if check_drift else None
     cur_by_name = {e["name"]: e for e in current["benchmarks"]}
     base_by_name = {e["name"]: e for e in baseline["benchmarks"]}
@@ -267,4 +292,5 @@ def compare_artifacts(
         iqr_factor=iqr_factor,
         drift_threshold=drift_threshold,
         drift_checked=check_drift,
+        calibrated=calibrated,
     )

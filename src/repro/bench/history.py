@@ -149,6 +149,58 @@ def ingest_artifact(
     return row, True
 
 
+def prune_history(
+    path: str | Path,
+    drop_envs: Iterable[str] = (),
+    keep_envs: Iterable[str] = (),
+    keep_last: int | None = None,
+    dry_run: bool = False,
+) -> tuple[int, int]:
+    """Drop retired rows from the history file (ROADMAP ask).
+
+    ``drop_envs`` removes every row whose ``env_key`` is listed
+    (retired machines); ``keep_envs`` instead removes every row whose
+    ``env_key`` is *not* listed (keep-only form; mutually exclusive
+    with ``drop_envs``).  ``keep_last`` then trims each
+    (env, suite, label, benchmark-set) series to its newest N rows, so
+    a long-lived machine's trajectory stays bounded.  The file is
+    rewritten atomically; ``dry_run`` computes without writing.
+
+    Returns ``(kept, dropped)`` row counts.
+    """
+    drop = set(drop_envs)
+    keep = set(keep_envs)
+    if drop and keep:
+        raise HistoryError("pass either drop_envs or keep_envs, not both")
+    if keep_last is not None and keep_last < 1:
+        raise HistoryError("keep_last must be at least 1")
+    rows = read_history(path)
+    survivors = [
+        r for r in rows
+        if r.get("env_key") not in drop
+        and (not keep or r.get("env_key") in keep)
+    ]
+    if keep_last is not None:
+        # newest-N per (env, suite, label): file order is ingest order
+        by_series: dict[tuple, list[int]] = {}
+        for i, row in enumerate(survivors):
+            series = (row.get("env_key"), row.get("suite"), row.get("label"))
+            by_series.setdefault(series, []).append(i)
+        wanted = {
+            i for indices in by_series.values() for i in indices[-keep_last:]
+        }
+        survivors = [r for i, r in enumerate(survivors) if i in wanted]
+    kept, dropped = len(survivors), len(rows) - len(survivors)
+    if not dry_run and dropped:
+        path = Path(path)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(
+            "".join(json.dumps(r, sort_keys=True) + "\n" for r in survivors)
+        )
+        tmp.replace(path)
+    return kept, dropped
+
+
 # -- trajectory -------------------------------------------------------------
 
 

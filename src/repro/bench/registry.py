@@ -30,12 +30,26 @@ class BenchContext:
     params: dict[str, Any]
     tracer: Tracer
     sink: InMemorySink
+    #: Simulated networks the trial attached; the runner harvests their
+    #: comm ledgers into the artifact's ``comm`` section.
+    networks: list = field(default_factory=list)
 
-    def attach_network(self, network) -> None:
-        """Wire the trial's tracer to a simulated network's virtual
-        clock so spans carry virtual timestamps (figs. 16/18 plot the
-        virtual, not the wall, attribution)."""
-        network.attach_tracer(self.tracer)
+    def attach_network(self, network, primary: bool = True) -> None:
+        """Register a simulated network with the trial.
+
+        Resets the network's traffic counters and comm ledger (fresh
+        trial — counters must not carry over on a reused network) and
+        records it for ledger harvesting.  When ``primary`` (default),
+        also wires the trial's tracer to the network's virtual clock so
+        spans carry virtual timestamps (figs. 16/18 plot the virtual,
+        not the wall, attribution); secondary networks (e.g. the
+        per-cluster fabrics of a hybrid run) keep their ledgers
+        harvested without stealing the tracer's clock.
+        """
+        network.reset_stats()
+        if primary:
+            network.attach_tracer(self.tracer)
+        self.networks.append(network)
 
 
 #: Trial function: (ctx, state) -> derived-values dict (floats/ints).

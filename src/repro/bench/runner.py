@@ -15,6 +15,7 @@ from __future__ import annotations
 import time
 from typing import Any
 
+from ..parallel.ledger import merge_comm_summaries
 from ..telemetry import InMemorySink, PhaseAggregator, PHASES, Tracer, set_tracer
 from .env import environment_fingerprint
 from .artifact import SCHEMA, validate_artifact
@@ -46,6 +47,10 @@ def _run_trial(bench: Benchmark, params: dict[str, Any]) -> dict[str, Any]:
     }
     if breakdown.virtual is not None:
         out["virtual_us"] = dict(breakdown.virtual.totals)
+    if ctx.networks:
+        out["comm"] = merge_comm_summaries(
+            net.ledger.summary() for net in ctx.networks
+        )
     return out
 
 
@@ -117,6 +122,10 @@ def run_benchmark(
     virtual_trials = [t["virtual_us"] for t in trials if "virtual_us" in t]
     if virtual_trials:
         entry["phases"]["virtual_us"] = _median_across(virtual_trials)
+    # comm ledgers are deterministic per trial (virtual time), so the
+    # last trial's harvest represents them all
+    if "comm" in trials[-1]:
+        entry["comm"] = trials[-1]["comm"]
     return entry
 
 

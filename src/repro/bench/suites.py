@@ -10,6 +10,11 @@ with the measurements behind the paper's evaluation:
   (fixed-point, block-floating-point) GRAPE-6 force call;
 * ``cluster_speed``           — figs. 15/16: the copy algorithm over a
   simulated NIC network, virtual-clock attribution;
+* ``multi_cluster_speed``     — figs. 17/18: copy vs hybrid across
+  clusters as *measured* simulated runs (model-derived compute cost
+  charged to the virtual clocks, comm measured by the ledger);
+* ``nic_survey``              — fig. 19: the same measured run swept
+  over the section-4.4 NIC models, exposing the sustained-speed knee;
 * ``blockstep_phase_breakdown`` — fig. 14: the per-particle-step time
   budget split into the eq. 10 phases;
 * ``model_sweep``             — the cost of regenerating the analytic
@@ -30,14 +35,26 @@ from typing import Any
 import numpy as np
 
 from ..analysis import run_speed
-from ..config import cluster_machine, single_node_machine
+from ..config import (
+    NICS,
+    MachineConfig,
+    cluster_machine,
+    full_machine,
+    single_node_machine,
+)
 from ..constants import FLOPS_PER_INTERACTION
 from ..core import BlockTimestepIntegrator
 from ..forces import DirectSummation
 from ..hardware import Grape6Emulator
 from ..models import plummer_model
-from ..parallel import CopyAlgorithm, ParallelBlockIntegrator, SimNetwork
+from ..parallel import (
+    CopyAlgorithm,
+    HybridAlgorithm,
+    ParallelBlockIntegrator,
+    SimNetwork,
+)
 from ..perfmodel import MachineModel
+from ..perfmodel.flops import speed_gflops
 from ..telemetry import T_HOST, T_PIPE
 from .registry import REGISTRY, BenchContext
 
@@ -250,6 +267,7 @@ def cluster_speed(ctx: BenchContext, state: dict[str, Any]) -> dict[str, Any]:
     measured_us_per_step = virtual_us / steps
     ctx.tracer.count("bench.messages", network.stats.messages)
     ctx.tracer.count("bench.bytes", network.stats.bytes)
+    ledger = network.ledger
     return {
         "particle_steps": stats.particle_steps,
         "virtual_ms": virtual_us / 1.0e3,
@@ -257,9 +275,185 @@ def cluster_speed(ctx: BenchContext, state: dict[str, Any]) -> dict[str, Any]:
         "messages": network.stats.messages,
         "bytes_per_message": network.stats.bytes / msgs,
         "barriers": network.stats.barriers,
+        "barrier_us_per_step": ledger.barrier_sync_us / steps,
+        "bytes_per_step": ledger.bytes / steps,
+        "straggler_skew": ledger.mean_barrier_skew_us(),
         "model_us_per_step": model_us,
         "model_over_measured": model_us / measured_us_per_step,
     }
+
+
+# -- measured multi-cluster sweeps (figs. 17-19) ---------------------------
+
+
+def _model_compute_hook(machine: MachineConfig):
+    """Per-host compute-cost hook derived from the analytic machine
+    model: a force call on ``n_i`` targets against ``n_j`` sources
+    charges the eq. 10 host + pipeline + interface terms to that rank's
+    virtual clock.  Communication and synchronisation are *not*
+    modelled here — the simulated network measures them — so the run's
+    sustained speed is a measurement whose comm side is real (simulated)
+    traffic, and ``model_over_measured`` checks the closed loop.
+    """
+    model = MachineModel(machine)
+
+    def hook(rank: int, n_i: int, n_j: int) -> float:
+        if n_i <= 0 or n_j <= 0:
+            return 0.0
+        return (
+            n_i * model.host_model.t_step_us(n_j)
+            + model.grape.blockstep_us(n_j, n_i)
+            + model.hif.blockstep_us(n_i)
+        )
+
+    return hook
+
+
+def _measured_run(ctx: BenchContext, system, algorithm, t_end: float):
+    """Integrate ``system`` under ``algorithm`` and return
+    ``(stats, virtual_us)`` (slowest clock across all of the
+    algorithm's networks)."""
+    networks = getattr(algorithm, "networks", None) or [algorithm.network]
+    for i, net in enumerate(networks):
+        ctx.attach_network(net, primary=(i == 0))
+    integ = ParallelBlockIntegrator(system, _EPS2, algorithm)
+    stats = integ.run(t_end)
+    virtual_us = max(net.clock.elapsed for net in networks)
+    return stats, virtual_us
+
+
+def _multi_cluster_setup(params: dict[str, Any]) -> dict[str, Any]:
+    # one fresh system per variant: the integrator mutates its system,
+    # and both variants must integrate the same initial conditions
+    return {
+        "system_copy": plummer_model(params["n"], seed=params["seed"]),
+        "system_hybrid": plummer_model(params["n"], seed=params["seed"]),
+    }
+
+
+@REGISTRY.register(
+    name="multi_cluster_speed",
+    title="measured multi-cluster runs: copy vs hybrid",
+    paper_ref="figs. 17-18 / section 4.3",
+    setup=_multi_cluster_setup,
+    suites={
+        "micro": {"n": 48, "clusters": 2, "t_end": 1.0 / 32.0,
+                  "seed": DEFAULT_SEED},
+        "smoke": {"n": 96, "clusters": 2, "t_end": 1.0 / 32.0,
+                  "seed": DEFAULT_SEED},
+        "full": {"n": 256, "clusters": 4, "t_end": 1.0 / 16.0,
+                 "seed": DEFAULT_SEED},
+    },
+)
+def multi_cluster_speed(ctx: BenchContext, state: dict[str, Any]) -> dict[str, Any]:
+    """Figs. 17/18 as *measured* simulated runs, not model curves.
+
+    Both variants span ``4 * clusters`` hosts: the flat copy algorithm
+    (every host exchanges with every other over the NIC ring) versus
+    the hybrid (2-D grid inside each cluster, copy ring between
+    clusters).  Compute cost comes from the analytic model via
+    :func:`_model_compute_hook`; communication and barriers are
+    measured by the comm ledger in virtual time.
+    """
+    n, clusters = ctx.params["n"], ctx.params["clusters"]
+    t_end = ctx.params["t_end"]
+    machine = full_machine(clusters)
+    hook = _model_compute_hook(machine)
+
+    copy_net = SimNetwork(4 * clusters, machine.nic)
+    copy_alg = CopyAlgorithm(copy_net, _EPS2, compute_time_us=hook)
+    copy_stats, copy_us = _measured_run(
+        ctx, state["system_copy"], copy_alg, t_end)
+    copy_steps = max(copy_stats.particle_steps, 1)
+
+    hybrid_alg = HybridAlgorithm(
+        clusters, _EPS2, nic=machine.nic, compute_time_us=hook)
+    hyb_stats, hyb_us = _measured_run(
+        ctx, state["system_hybrid"], hybrid_alg, t_end)
+    hyb_steps = max(hyb_stats.particle_steps, 1)
+
+    model_us = MachineModel(machine).time_per_step_us(n)
+    copy_ledger = copy_net.ledger
+    hyb_sync = sum(l.barrier_sync_us for l in hybrid_alg.ledgers)
+    hyb_bytes = sum(l.bytes for l in hybrid_alg.ledgers)
+    return {
+        "particle_steps": copy_stats.particle_steps,
+        "copy_us_per_step": copy_us / copy_steps,
+        "hybrid_us_per_step": hyb_us / hyb_steps,
+        "copy_gflops": speed_gflops(n, copy_us / copy_steps),
+        "hybrid_gflops": speed_gflops(n, hyb_us / hyb_steps),
+        "hybrid_over_copy_speed": (copy_us / copy_steps)
+        / (hyb_us / hyb_steps),
+        "copy_barrier_us_per_step": copy_ledger.barrier_sync_us / copy_steps,
+        "hybrid_barrier_us_per_step": hyb_sync / hyb_steps,
+        "copy_bytes_per_step": copy_ledger.bytes / copy_steps,
+        "hybrid_bytes_per_step": hyb_bytes / hyb_steps,
+        "straggler_skew": copy_ledger.mean_barrier_skew_us(),
+        "model_us_per_step": model_us,
+        "model_over_measured": model_us / (hyb_us / hyb_steps),
+    }
+
+
+def _nic_survey_setup(params: dict[str, Any]) -> dict[str, Any]:
+    # one fresh system per NIC (the integrator mutates its system; all
+    # NICs must see identical initial conditions and block schedules)
+    return {
+        nic: plummer_model(params["n"], seed=params["seed"])
+        for nic in params["nics"]
+    }
+
+
+@REGISTRY.register(
+    name="nic_survey",
+    title="NIC latency/bandwidth survey (sustained-speed knee)",
+    paper_ref="fig. 19 / section 4.4",
+    setup=_nic_survey_setup,
+    suites={
+        "micro": {"n": 48, "ranks": 4, "t_end": 1.0 / 32.0,
+                  "nics": ["ns83820", "intel82540em"],
+                  "seed": DEFAULT_SEED},
+        "smoke": {"n": 96, "ranks": 8, "t_end": 1.0 / 32.0,
+                  "nics": ["ns83820", "tigon2", "intel82540em", "myrinet"],
+                  "seed": DEFAULT_SEED},
+        "full": {"n": 256, "ranks": 16, "t_end": 1.0 / 16.0,
+                 "nics": ["ns83820", "tigon2", "intel82540em", "myrinet"],
+                 "seed": DEFAULT_SEED},
+    },
+)
+def nic_survey(ctx: BenchContext, state: dict[str, Any]) -> dict[str, Any]:
+    """Fig. 19's tuning study as measured runs: the same workload on
+    the same host count, swapping only the NIC model.  The knee the
+    paper found — barrier latency, not bandwidth, capping sustained
+    speed at large p — shows up as the barrier fraction of virtual
+    time; the 82540EM beats the NS 83820 because its round trip is 3x
+    shorter."""
+    n, ranks, t_end = ctx.params["n"], ctx.params["ranks"], ctx.params["t_end"]
+    hook = _model_compute_hook(single_node_machine())
+    out: dict[str, Any] = {}
+    speeds: dict[str, float] = {}
+    for nic_name in ctx.params["nics"]:
+        nic = NICS[nic_name]
+        network = SimNetwork(ranks, nic)
+        algorithm = CopyAlgorithm(network, _EPS2, compute_time_us=hook)
+        stats, virtual_us = _measured_run(
+            ctx, state[nic_name], algorithm, t_end)
+        steps = max(stats.particle_steps, 1)
+        ledger = network.ledger
+        gflops = speed_gflops(n, virtual_us / steps)
+        speeds[nic_name] = gflops
+        out[f"{nic_name}_gflops"] = gflops
+        out[f"{nic_name}_us_per_step"] = virtual_us / steps
+        out[f"{nic_name}_barrier_us_per_step"] = (
+            ledger.barrier_sync_us / steps)
+        out[f"{nic_name}_bytes_per_step"] = ledger.bytes / steps
+        out[f"{nic_name}_barrier_fraction"] = (
+            ledger.barrier_sync_us / virtual_us if virtual_us > 0 else 0.0)
+        out[f"{nic_name}_straggler_skew"] = ledger.mean_barrier_skew_us()
+    if "ns83820" in speeds and "intel82540em" in speeds:
+        out["intel_over_ns_speed"] = (
+            speeds["intel82540em"] / speeds["ns83820"])
+    out["best_nic_gflops"] = max(speeds.values())
+    return out
 
 
 # -- blockstep phase breakdown on the emulator (fig. 14 / eq. 10) ----------

@@ -21,6 +21,16 @@ communication-volume/latency accounting matches the analytic models in
 """
 
 from .virtualtime import VirtualClock
+from .ledger import (
+    COMM_LEDGER_SCHEMA,
+    BarrierRecord,
+    CommLedger,
+    ExchangeRecord,
+    LedgerError,
+    LinkStats,
+    merge_comm_summaries,
+    validate_comm_ledger,
+)
 from .simcomm import MessageStats, SimNetwork
 from .topology import Grid2D
 from .copy_algorithm import CopyAlgorithm
@@ -33,6 +43,14 @@ __all__ = [
     "VirtualClock",
     "SimNetwork",
     "MessageStats",
+    "COMM_LEDGER_SCHEMA",
+    "CommLedger",
+    "LinkStats",
+    "BarrierRecord",
+    "ExchangeRecord",
+    "LedgerError",
+    "validate_comm_ledger",
+    "merge_comm_summaries",
     "Grid2D",
     "CopyAlgorithm",
     "RingAlgorithm",

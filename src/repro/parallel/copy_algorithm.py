@@ -122,16 +122,18 @@ class CopyAlgorithm:
         # ring allgather: at shift s each rank forwards the share that
         # originated s-1 hops upstream, so after p-1 shifts everyone
         # has every share; each message carries that share's actual size
-        for shift in range(1, self.p):
-            for rank in range(self.p):
-                origin = (rank - shift + 1) % self.p
-                self.network.send(
-                    rank,
-                    (rank + 1) % self.p,
-                    shares[origin],
-                    int(shares[origin].size) * PARTICLE_BYTES,
-                    tag=1000 + shift,
-                )
-            for rank in range(self.p):
-                self.network.recv(rank, (rank - 1) % self.p, tag=1000 + shift)
+        with self.network.exchange_phase(
+                "ring_allgather", n_particles=int(block.size)):
+            for shift in range(1, self.p):
+                for rank in range(self.p):
+                    origin = (rank - shift + 1) % self.p
+                    self.network.send(
+                        rank,
+                        (rank + 1) % self.p,
+                        shares[origin],
+                        int(shares[origin].size) * PARTICLE_BYTES,
+                        tag=1000 + shift,
+                    )
+                for rank in range(self.p):
+                    self.network.recv(rank, (rank - 1) % self.p, tag=1000 + shift)
         self.network.barrier()

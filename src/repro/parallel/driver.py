@@ -43,8 +43,15 @@ class ParallelBlockIntegrator(BlockTimestepIntegrator):
         # capture the block before the parent mutates the schedule
         _, block = self.scheduler.next_block()
         result = super().step()
-        with self.tracer.span("net.exchange", phase=T_COMM, n_block=block.size):
+        network = self.algorithm.network
+        m0, b0 = network.stats.messages, network.stats.bytes
+        with self.tracer.span(
+                "net.exchange", phase=T_COMM, n_block=block.size) as span:
             self.algorithm.exchange_updated(block)
+            span.set(
+                messages=network.stats.messages - m0,
+                bytes=network.stats.bytes - b0,
+            )
         del t_block
         return result
 

@@ -162,23 +162,25 @@ class Grid2DAlgorithm:
         if r == 1:
             return
         block = np.asarray(block)
-        for i in range(r):
-            subset = self._subsets[i]
-            if subset.size == 0:
-                continue
-            members = block[(block >= subset[0]) & (block <= subset[-1])]
-            if members.size == 0:
-                continue
-            nbytes = int(members.size) * PARTICLE_BYTES
-            src = self.grid.rank(i, i)
-            for j in range(r):
-                if j == i:
+        with self.network.exchange_phase(
+                "grid_bcast", n_particles=int(block.size)):
+            for i in range(r):
+                subset = self._subsets[i]
+                if subset.size == 0:
                     continue
-                self.network.send(src, self.grid.rank(i, j), None, nbytes, tag=4000 + i)
-                self.network.send(src, self.grid.rank(j, i), None, nbytes, tag=5000 + i)
-            for j in range(r):
-                if j == i:
+                members = block[(block >= subset[0]) & (block <= subset[-1])]
+                if members.size == 0:
                     continue
-                self.network.recv(self.grid.rank(i, j), src, tag=4000 + i)
-                self.network.recv(self.grid.rank(j, i), src, tag=5000 + i)
+                nbytes = int(members.size) * PARTICLE_BYTES
+                src = self.grid.rank(i, i)
+                for j in range(r):
+                    if j == i:
+                        continue
+                    self.network.send(src, self.grid.rank(i, j), None, nbytes, tag=4000 + i)
+                    self.network.send(src, self.grid.rank(j, i), None, nbytes, tag=5000 + i)
+                for j in range(r):
+                    if j == i:
+                        continue
+                    self.network.recv(self.grid.rank(i, j), src, tag=4000 + i)
+                    self.network.recv(self.grid.rank(j, i), src, tag=5000 + i)
         self.network.barrier()

@@ -16,11 +16,14 @@ block-timestep integrator drives a functional simulation of the whole
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from ..config import NICConfig, NIC_NS83820
 from ..forces.kernels import ForceJerkResult
 from .grid2d import Grid2DAlgorithm
+from .ledger import CommLedger
 from .simcomm import PARTICLE_BYTES, SimNetwork
 
 
@@ -40,6 +43,10 @@ class HybridAlgorithm:
     hosts_per_cluster:
         Must be a perfect square (grid requirement); 4 on the real
         machine.
+    compute_time_us:
+        Optional per-host compute-cost hook ``(rank, n_i, n_j) -> us``
+        threaded to every cluster grid (couples the simulated runs to
+        :mod:`repro.perfmodel` so sustained speed is measurable).
     """
 
     def __init__(
@@ -48,6 +55,7 @@ class HybridAlgorithm:
         eps2: float,
         nic: NICConfig = NIC_NS83820,
         hosts_per_cluster: int = 4,
+        compute_time_us: Callable[[int, int, int], float] | None = None,
     ) -> None:
         if clusters < 1:
             raise ValueError("need at least one cluster")
@@ -68,7 +76,8 @@ class HybridAlgorithm:
             ),
         )
         self.grids = [
-            Grid2DAlgorithm(net, eps2) for net in self.cluster_nets
+            Grid2DAlgorithm(net, eps2, compute_time_us=compute_time_us)
+            for net in self.cluster_nets
         ]
         self._n = 0
 
@@ -122,14 +131,16 @@ class HybridAlgorithm:
         block = np.asarray(block)
         if self.c > 1:
             # ring allgather of the updated shares between clusters
-            for shift in range(1, self.c):
-                for k in range(self.c):
-                    origin = (k - shift + 1) % self.c
-                    nbytes = int(self.share(block, origin).size) * PARTICLE_BYTES
-                    self.inter_net.send(k, (k + 1) % self.c, None, nbytes,
-                                        tag=7000 + shift)
-                for k in range(self.c):
-                    self.inter_net.recv(k, (k - 1) % self.c, tag=7000 + shift)
+            with self.inter_net.exchange_phase(
+                    "hybrid_inter", n_particles=int(block.size)):
+                for shift in range(1, self.c):
+                    for k in range(self.c):
+                        origin = (k - shift + 1) % self.c
+                        nbytes = int(self.share(block, origin).size) * PARTICLE_BYTES
+                        self.inter_net.send(k, (k + 1) % self.c, None, nbytes,
+                                            tag=7000 + shift)
+                    for k in range(self.c):
+                        self.inter_net.recv(k, (k - 1) % self.c, tag=7000 + shift)
         # every cluster pushes the full updated block through its grid
         for grid in self.grids:
             grid.exchange_updated(block)
@@ -153,6 +164,17 @@ class HybridAlgorithm:
         """The inter-cluster network (exposes the driver's virtual-time
         interface; intra-cluster clocks are synchronised into it)."""
         return self.inter_net
+
+    @property
+    def networks(self) -> list[SimNetwork]:
+        """Every network in the machine: all cluster fabrics plus the
+        inter-cluster links (NICs differ, so ledgers stay separate)."""
+        return [*self.cluster_nets, self.inter_net]
+
+    @property
+    def ledgers(self) -> list[CommLedger]:
+        """One comm ledger per network, in :attr:`networks` order."""
+        return [net.ledger for net in self.networks]
 
     @property
     def total_bytes(self) -> int:

@@ -22,11 +22,13 @@ correctness, not just cost.
 from __future__ import annotations
 
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any
 
 from ..config import NICConfig, NIC_NS83820
 from ..telemetry import T_BARRIER, Tracer, get_tracer
+from .ledger import CommLedger
 from .virtualtime import VirtualClock
 
 
@@ -41,6 +43,13 @@ class MessageStats:
     def record(self, nbytes: int) -> None:
         self.messages += 1
         self.bytes += nbytes
+
+    def reset(self) -> None:
+        """Zero all counters (fresh benchmark trial on a reused
+        network — multi-trial comm counts must not accumulate)."""
+        self.messages = 0
+        self.bytes = 0
+        self.barriers = 0
 
 
 #: Bytes per particle for the paper's exchanges: position, velocity,
@@ -82,8 +91,16 @@ class SimNetwork:
         self.nic = nic
         self.overhead_us = float(per_message_overhead_us)
         self.stats = MessageStats()
+        self.ledger = CommLedger(n_ranks, nic=nic.name)
         self._tracer = tracer
         self._mailbox: dict[tuple[int, int, int], deque] = {}
+
+    def reset_stats(self) -> None:
+        """Zero the traffic counters and the communication ledger
+        without touching the clocks or in-flight messages (used by the
+        bench runner so per-trial counters never carry over)."""
+        self.stats.reset()
+        self.ledger.reset()
 
     @property
     def tracer(self) -> Tracer:
@@ -118,6 +135,8 @@ class SimNetwork:
         t_arrive = self.clock.now(src) + flight_us
         self._mailbox.setdefault((src, dst, tag), deque()).append((t_arrive, payload))
         self.stats.record(nbytes)
+        self.ledger.record_message(src, dst, nbytes, flight_us,
+                                   collective=tag < 0)
         tracer = self.tracer
         if tracer.enabled:
             tracer.count("net.messages")
@@ -152,6 +171,8 @@ class SimNetwork:
             return
         tracer = self.tracer
         rounds = 0
+        arrivals = self.clock.snapshot()
+        round_skews: list[float] = []
         with tracer.span("net.barrier", phase=T_BARRIER, p=p) as span:
             k = 1
             while k < p:
@@ -161,12 +182,40 @@ class SimNetwork:
                     self.recv(r, (r - k) % p, tag=-1 - k)
                 k *= 2
                 rounds += 1
-            self.clock.synchronize()
-            span.set(rounds=rounds)
+                snap = self.clock.snapshot()
+                round_skews.append(float(snap.max() - snap.min()))
+            release = self.clock.synchronize()
+            record = self.ledger.record_barrier(
+                arrivals, release, rounds, round_skews)
+            span.set(rounds=rounds, straggler=record.straggler,
+                     skew_us=record.skew_us, sync_us=record.sync_us)
         self.stats.barriers += 1
         if tracer.enabled:
             tracer.count("net.barriers")
             tracer.count("net.barrier_rounds", rounds)
+            tracer.observe("net.barrier_skew_us", record.skew_us)
+            tracer.observe("net.barrier_sync_us", record.sync_us)
+
+    @contextmanager
+    def exchange_phase(self, kind: str, n_particles: int = 0):
+        """Bracket one coherence exchange for the ledger.
+
+        Snapshots the traffic counters and the virtual clock around the
+        body; the delta becomes an annotated
+        :class:`~repro.parallel.ledger.ExchangeRecord` (and an
+        exchange event on the flight-recorder timeline).
+        """
+        t0 = self.clock.elapsed
+        m0, b0 = self.stats.messages, self.stats.bytes
+        yield
+        self.ledger.record_exchange(
+            kind,
+            t0,
+            self.clock.elapsed,
+            messages=self.stats.messages - m0,
+            nbytes=self.stats.bytes - b0,
+            n_particles=n_particles,
+        )
 
     def bcast(self, root: int, payload: Any, nbytes: int) -> list[Any]:
         """Binomial-tree broadcast; returns the payload as seen by each rank."""

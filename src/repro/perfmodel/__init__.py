@@ -59,6 +59,17 @@ from .tuning import (
     crossover_table,
     tuning_ladder,
 )
+from .calibrate import (
+    CALIBRATION_SCHEMA,
+    CalibrationError,
+    calibrate_artifacts,
+    calibrated_environment,
+    fit_environment,
+    load_calibration,
+    merge_calibration,
+    save_calibration,
+    validate_calibration,
+)
 
 __all__ = [
     "speed_gflops",
@@ -84,4 +95,13 @@ __all__ = [
     "best_configuration",
     "crossover_table",
     "tuning_ladder",
+    "CALIBRATION_SCHEMA",
+    "CalibrationError",
+    "calibrate_artifacts",
+    "calibrated_environment",
+    "fit_environment",
+    "load_calibration",
+    "merge_calibration",
+    "save_calibration",
+    "validate_calibration",
 ]

@@ -123,8 +123,14 @@ def build_timeline(
     samples: Iterable[Sample] | None = None,
     metadata: dict[str, Any] | None = None,
     span_phases: dict[str, str] | None = None,
+    extra_events: Iterable[dict[str, Any]] | None = None,
 ) -> dict[str, Any]:
     """The full trace document: both clock domains plus sampler ticks.
+
+    ``extra_events`` appends pre-built trace events verbatim — the hook
+    the comm-ledger uses (:meth:`repro.parallel.CommLedger.trace_events`
+    renders barrier/exchange lanes under its own pid) so network
+    attribution lands in the same document as the span film.
 
     Returns the JSON object format (``traceEvents`` list wrapped with
     ``displayTimeUnit`` and free-form ``otherData``) — the shape both
@@ -138,6 +144,8 @@ def build_timeline(
         trace += virtual
     if samples is not None:
         trace += sample_events(samples)
+    if extra_events is not None:
+        trace += list(extra_events)
     return {
         "traceEvents": trace,
         "displayTimeUnit": _DISPLAY_UNIT,
@@ -151,10 +159,11 @@ def write_timeline(
     samples: Iterable[Sample] | None = None,
     metadata: dict[str, Any] | None = None,
     span_phases: dict[str, str] | None = None,
+    extra_events: Iterable[dict[str, Any]] | None = None,
 ) -> Path:
     """Build and write one trace document; returns the path."""
     doc = build_timeline(events, samples=samples, metadata=metadata,
-                         span_phases=span_phases)
+                         span_phases=span_phases, extra_events=extra_events)
     path = Path(path)
     path.write_text(json.dumps(doc, sort_keys=True) + "\n")
     return path

@@ -138,3 +138,108 @@ class TestCLI:
         out = capsys.readouterr().out
         for bench in REGISTRY:
             assert bench.name in out
+
+
+class TestCommCLI:
+    """The observability loop: run -> calibrate -> calibrated compare,
+    plus the ledger capture and history prune subcommands."""
+
+    @pytest.fixture(scope="class")
+    def artifact_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("comm") / "BENCH_micro.json"
+        rc = main([
+            "run", "--suite", "micro", "--repeats", "1", "--warmup", "0",
+            "--out", str(path), "--label", "comm-test",
+            "--bench", "cluster_speed", "--bench", "multi_cluster_speed",
+            "--bench", "nic_survey",
+        ])
+        assert rc == 0
+        return path
+
+    def test_artifact_carries_comm_section(self, artifact_path):
+        art = read_artifact(artifact_path)
+        entry = next(e for e in art["benchmarks"]
+                     if e["name"] == "multi_cluster_speed")
+        comm = entry["comm"]
+        assert comm["schema"] == "repro.comm_ledger/1"
+        assert comm["barriers"] > 0 and comm["bytes"] > 0
+        assert entry["derived"]["copy_barrier_us_per_step"] > 0.0
+        nic_entry = next(e for e in art["benchmarks"]
+                         if e["name"] == "nic_survey")
+        d = nic_entry["derived"]
+        # fig. 19 ordering: the Intel 82540EM beats the NS 83820
+        assert d["intel82540em_gflops"] > d["ns83820_gflops"]
+        assert d["intel_over_ns_speed"] > 1.0
+
+    def test_calibrate_then_calibrated_compare(self, artifact_path,
+                                               tmp_path, capsys):
+        cal = tmp_path / "calibration.json"
+        assert main(["calibrate", str(artifact_path), "--out", str(cal)]) == 0
+        capsys.readouterr()
+        doc = json.loads(cal.read_text())
+        assert doc["schema"] == "repro.perfmodel.calibration/1"
+        assert len(doc["environments"]) == 1
+
+        rc = main([
+            "compare", str(artifact_path), str(artifact_path),
+            "--calibration", str(cal),
+        ])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "verdict: OK" in captured.out
+        assert "drift threshold tightened" in captured.err
+
+    def test_calibrate_dry_run_writes_nothing(self, artifact_path,
+                                              tmp_path, capsys):
+        cal = tmp_path / "nope.json"
+        assert main(["calibrate", str(artifact_path), "--out", str(cal),
+                     "--dry-run"]) == 0
+        assert not cal.exists()
+        assert "environments" in capsys.readouterr().out
+
+    def test_ledger_capture_and_timeline(self, tmp_path, capsys):
+        out = tmp_path / "ledger.json"
+        timeline = tmp_path / "trace.json"
+        rc = main([
+            "ledger", "--bench", "multi_cluster_speed", "--suite", "micro",
+            "--out", str(out), "--timeline", str(timeline),
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "repro.comm_ledger/1"
+        assert doc["ledgers"], "expected at least one network ledger"
+        from repro.telemetry.timeline import validate_timeline
+
+        trace = json.loads(timeline.read_text())
+        validate_timeline(trace)
+        names = {e["name"] for e in trace["traceEvents"]}
+        assert "net.barrier.wait" in names
+
+    def test_ledger_without_networks_is_exit_2(self, capsys):
+        assert main(["ledger", "--bench", "kernel_throughput",
+                     "--suite", "micro"]) == 2
+        assert "no simulated network" in capsys.readouterr().err
+
+    def test_history_prune(self, artifact_path, tmp_path, capsys):
+        hist = tmp_path / "history.jsonl"
+        art = read_artifact(artifact_path)
+        assert main(["history", "ingest", str(artifact_path),
+                     "--history", str(hist)]) == 0
+        write_artifact({**art, "environment": {
+            **art["environment"], "git_revision": "feedc0de"}}, artifact_path)
+        assert main(["history", "ingest", str(artifact_path),
+                     "--history", str(hist)]) == 0
+        capsys.readouterr()
+
+        assert main(["history", "prune", "--history", str(hist),
+                     "--keep-last", "1", "--dry-run"]) == 0
+        assert "would drop 1" in capsys.readouterr().out
+        assert main(["history", "prune", "--history", str(hist),
+                     "--keep-last", "1"]) == 0
+        assert "dropped 1" in capsys.readouterr().out
+        assert len(hist.read_text().splitlines()) == 1
+
+    def test_history_prune_without_criteria_is_exit_2(self, tmp_path, capsys):
+        assert main(["history", "prune",
+                     "--history", str(tmp_path / "h.jsonl")]) == 2

@@ -8,6 +8,7 @@ detection of a genuine 2x slowdown.
 import random
 
 from repro.bench import (
+    CALIBRATED_DRIFT_THRESHOLD,
     DRIFT,
     IMPROVED,
     MISSING,
@@ -205,3 +206,74 @@ class TestModelDrift:
         assert d["drift_checked"] is True
         assert d["drift_threshold"] == 0.5
         assert d["verdicts"][0]["status"] == DRIFT
+
+
+class TestCalibratedDrift:
+    """With a calibration entry for the current environment the drift
+    threshold tightens from the default 50% to 10%."""
+
+    ENV = {"python": "3.12", "machine": "x86_64"}
+
+    def _calibration_for(self, env):
+        from repro.bench.history import env_key
+
+        return {
+            "schema": "repro.perfmodel.calibration/1",
+            "environments": {
+                env_key(env): {"nics": {}, "model_anchors": {"k": 1.0}},
+            },
+        }
+
+    def _pair(self, base_ratio, cur_ratio):
+        def entry(ratio):
+            e = make_entry("k", [1.0, 1.0])
+            e["derived"]["model_over_measured"] = ratio
+            return e
+
+        cur = make_artifact([entry(cur_ratio)])
+        base = make_artifact([entry(base_ratio)])
+        cur["environment"] = dict(self.ENV)
+        base["environment"] = dict(self.ENV)
+        return cur, base
+
+    def test_calibrated_tightens_threshold(self):
+        """A 30% ratio drift passes uncalibrated (50% slack) but fails
+        once the environment is calibrated (10%)."""
+        cur, base = self._pair(1.0, 1.3)
+        loose = compare_artifacts(cur, base)
+        assert loose.ok and not loose.calibrated
+        tight = compare_artifacts(
+            cur, base, calibration=self._calibration_for(self.ENV))
+        assert tight.calibrated
+        assert tight.drift_threshold == CALIBRATED_DRIFT_THRESHOLD
+        assert not tight.ok
+        assert [v.name for v in tight.drifted] == ["k"]
+
+    def test_calibrated_within_ten_percent_passes(self):
+        cur, base = self._pair(1.0, 1.05)
+        result = compare_artifacts(
+            cur, base, calibration=self._calibration_for(self.ENV))
+        assert result.calibrated and result.ok
+
+    def test_foreign_calibration_does_not_tighten(self):
+        cur, base = self._pair(1.0, 1.3)
+        other = self._calibration_for({"python": "3.12", "machine": "arm64"})
+        result = compare_artifacts(cur, base, calibration=other)
+        assert not result.calibrated
+        assert result.ok
+
+    def test_explicit_tighter_threshold_wins(self):
+        """min() semantics: a user threshold below 10% is respected."""
+        cur, base = self._pair(1.0, 1.05)
+        result = compare_artifacts(
+            cur, base, drift_threshold=0.01,
+            calibration=self._calibration_for(self.ENV))
+        assert result.calibrated
+        assert result.drift_threshold == 0.01
+        assert not result.ok
+
+    def test_calibrated_flag_in_dict(self):
+        cur, base = self._pair(1.0, 1.0)
+        result = compare_artifacts(
+            cur, base, calibration=self._calibration_for(self.ENV))
+        assert result.as_dict()["calibrated"] is True

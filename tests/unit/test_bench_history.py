@@ -22,6 +22,7 @@ from repro.bench import (
     render_history_table,
     trajectory,
 )
+from repro.bench.history import prune_history
 from repro.bench.stats import trial_stats
 
 ENV_A = {
@@ -159,6 +160,52 @@ class TestTrajectory:
         assert not points[1].drifted(DEFAULT_DRIFT_THRESHOLD)
         assert points[2].drifted(DEFAULT_DRIFT_THRESHOLD)
         assert points[2].model_drift == pytest.approx(1.0)
+
+
+class TestPrune:
+    @pytest.fixture
+    def path(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        specs = [({"k": 1.0 - 0.1 * i}, ENV_A, None) for i in range(4)]
+        specs.append(({"k": 9.0}, ENV_B, None))
+        ingest_sequence(path, specs)
+        return path
+
+    def test_drop_env(self, path):
+        kept, dropped = prune_history(path, drop_envs=[env_key(ENV_B)])
+        assert (kept, dropped) == (4, 1)
+        assert all(r["env_key"] == env_key(ENV_A) for r in read_history(path))
+
+    def test_keep_env(self, path):
+        kept, dropped = prune_history(path, keep_envs=[env_key(ENV_B)])
+        assert (kept, dropped) == (1, 4)
+        assert read_history(path)[0]["env_key"] == env_key(ENV_B)
+
+    def test_keep_last_trims_per_series(self, path):
+        kept, dropped = prune_history(path, keep_last=2)
+        assert (kept, dropped) == (3, 2)   # ENV_A keeps 2 of 4, ENV_B its 1
+        rows = read_history(path)
+        medians = [r["benchmarks"]["k"]["median_s"]
+                   for r in rows if r["env_key"] == env_key(ENV_A)]
+        assert medians == pytest.approx([0.8, 0.7])   # newest two survive
+
+    def test_dry_run_leaves_file_alone(self, path):
+        kept, dropped = prune_history(path, keep_last=1, dry_run=True)
+        assert (kept, dropped) == (2, 3)
+        assert len(read_history(path)) == 5
+
+    def test_drop_and_keep_mutually_exclusive(self, path):
+        with pytest.raises(HistoryError):
+            prune_history(path, drop_envs=["a"], keep_envs=["b"])
+
+    def test_keep_last_must_be_positive(self, path):
+        with pytest.raises(HistoryError):
+            prune_history(path, keep_last=0)
+
+    def test_noop_prune_keeps_everything(self, path):
+        kept, dropped = prune_history(path, keep_last=10)
+        assert (kept, dropped) == (5, 0)
+        assert len(read_history(path)) == 5
 
 
 class TestRendering:
