@@ -54,6 +54,9 @@ def validate_artifact(obj: Any, source: str = "artifact") -> dict[str, Any]:
     tag = obj.get("tag")
     if tag is not None and not isinstance(tag, str):
         raise ArtifactError(f"{source}: 'tag' must be a string when present")
+    notes = obj.get("notes")
+    if notes is not None and not isinstance(notes, str):
+        raise ArtifactError(f"{source}: 'notes' must be a string when present")
     benchmarks = obj["benchmarks"]
     if not isinstance(benchmarks, list) or not benchmarks:
         raise ArtifactError(f"{source}: 'benchmarks' must be a non-empty list")

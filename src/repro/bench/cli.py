@@ -70,6 +70,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             progress=lambda line: print(f"  {line}", file=sys.stderr),
             seed=args.seed,
             tag=args.tag,
+            notes=args.notes,
         )
     except KeyError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -234,7 +235,7 @@ def _cmd_history(args: argparse.Namespace) -> int:
         for artifact_path in args.artifacts:
             artifact = read_artifact(artifact_path)
             row, appended = ingest_artifact(
-                artifact, args.history, force=args.force
+                artifact, args.history, force=args.force, notes=args.notes
             )
             appended_any = appended_any or appended
             status = "ingested" if appended else "already present (skipped)"
@@ -334,6 +335,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--tag", default=None,
                        help="free-form label recorded in the artifact and "
                        "its history row (e.g. 'post-vectorise')")
+    p_run.add_argument("--notes", default=None,
+                       help="free-text provenance recorded in the artifact "
+                       "and its history row (e.g. 'dedicated box, "
+                       "governor pinned')")
     p_run.set_defaults(func=_cmd_run)
 
     p_cmp = sub.add_parser("compare", help="regression gate: current vs baseline")
@@ -425,6 +430,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_ing.add_argument("--force", action="store_true",
                        help="append even if the (env, revision, suite, "
                        "label) key already exists")
+    p_ing.add_argument("--notes", default=None,
+                       help="free-text provenance attached to the ingested "
+                       "row(s), overriding any notes in the artifact")
     _hist_common(p_ing)
     p_ing.set_defaults(func=_cmd_history)
 

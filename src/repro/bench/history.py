@@ -25,10 +25,17 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterable
+
+try:  # POSIX; on platforms without it ingest degrades to lockless
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 from ..io.tables import format_table
 from .artifact import validate_artifact
@@ -78,7 +85,7 @@ def artifact_row(artifact: dict[str, Any]) -> dict[str, Any]:
         if isinstance(ratio, (int, float)) and not isinstance(ratio, bool):
             bench["model_over_measured"] = float(ratio)
         benchmarks[entry["name"]] = bench
-    return {
+    row = {
         "schema": HISTORY_SCHEMA,
         "label": artifact["label"],
         "suite": artifact["suite"],
@@ -90,6 +97,10 @@ def artifact_row(artifact: dict[str, Any]) -> dict[str, Any]:
         "tag": artifact.get("tag"),
         "benchmarks": benchmarks,
     }
+    notes = artifact.get("notes")
+    if notes is not None:
+        row["notes"] = str(notes)
+    return row
 
 
 def _row_key(row: dict[str, Any]) -> tuple:
@@ -128,24 +139,68 @@ def read_history(path: str | Path) -> list[dict[str, Any]]:
     return rows
 
 
+@contextmanager
+def _history_lock(path: Path):
+    """Advisory exclusive lock serialising read-check-append cycles.
+
+    The lock lives in a sibling ``.lock`` file so readers of the
+    history itself never contend; on platforms without ``fcntl`` the
+    lock degrades to nothing (appends are still atomic, only the
+    cross-process dedupe check races)."""
+    if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    lock_path = path.with_suffix(path.suffix + ".lock")
+    lock_path.parent.mkdir(parents=True, exist_ok=True)
+    fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        yield
+    finally:
+        fcntl.flock(fd, fcntl.LOCK_UN)
+        os.close(fd)
+
+
+def _append_row(path: Path, row: dict[str, Any]) -> None:
+    """One ``O_APPEND`` write per record: concurrent appenders may
+    interleave *rows* but never *bytes within a row*, so the file stays
+    line-parseable under any write race."""
+    line = (json.dumps(row, sort_keys=True) + "\n").encode()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd = os.open(path, os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644)
+    try:
+        os.write(fd, line)
+    finally:
+        os.close(fd)
+
+
 def ingest_artifact(
-    artifact: dict[str, Any], path: str | Path, force: bool = False
+    artifact: dict[str, Any],
+    path: str | Path,
+    force: bool = False,
+    notes: str | None = None,
 ) -> tuple[dict[str, Any], bool]:
     """Append ``artifact``'s row to the history file.
 
     Returns ``(row, appended)``; ``appended`` is False when a row with
     the same (machine, commit, suite, label) key already exists and
     ``force`` is not set — re-running CI on the same commit must not
-    duplicate points.
+    duplicate points.  The read-check-append cycle holds an advisory
+    file lock and the append is a single ``O_APPEND`` write, so
+    concurrent writers (CI jobs, service consumers) neither interleave
+    bytes nor double-ingest.  ``notes`` annotates the row (overriding
+    any notes already in the artifact) — quiet-runner provenance such
+    as "dedicated box, pinned governor".
     """
     row = artifact_row(artifact)
-    existing = read_history(path)
-    if not force and any(_row_key(r) == _row_key(row) for r in existing):
-        return row, False
+    if notes is not None:
+        row["notes"] = str(notes)
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("a") as fh:
-        fh.write(json.dumps(row, sort_keys=True) + "\n")
+    with _history_lock(path):
+        existing = read_history(path)
+        if not force and any(_row_key(r) == _row_key(row) for r in existing):
+            return row, False
+        _append_row(path, row)
     return row, True
 
 

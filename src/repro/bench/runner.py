@@ -139,6 +139,7 @@ def run_suite(
     progress=None,
     seed: int | None = None,
     tag: str | None = None,
+    notes: str | None = None,
 ) -> dict[str, Any]:
     """Run every benchmark in ``suite`` and return a validated artifact.
 
@@ -146,7 +147,9 @@ def run_suite(
     is an optional callable receiving one line per benchmark.  ``seed``
     overrides the workload seed of every benchmark that takes one, and
     ``tag`` labels the artifact (both land in the artifact root, so
-    history rows stay reproducible and searchable).
+    history rows stay reproducible and searchable).  ``notes`` is
+    free-text provenance ("dedicated box, governor pinned") persisted
+    into the artifact and its history row.
     """
     registry = registry if registry is not None else REGISTRY
     benchmarks = registry.select(suite)
@@ -184,4 +187,6 @@ def run_suite(
         artifact["seed"] = int(seed)
     if tag is not None:
         artifact["tag"] = str(tag)
+    if notes is not None:
+        artifact["notes"] = str(notes)
     return validate_artifact(artifact, source=f"suite {suite!r}")

@@ -89,6 +89,53 @@ class HermiteIntegrator:
         s.pot[...] = res.pot
         self.stats.interactions += res.interactions
 
+    # -- state introspection (checkpoint/resume) ----------------------------
+
+    def state_dict(self) -> dict:
+        """Integrator state beyond the particle arrays (see the block
+        integrator's :meth:`BlockTimestepIntegrator.state_dict`; the
+        shared scheme has no scheduler to capture)."""
+        return {
+            "kind": "shared",
+            "t": float(self.t),
+            "eps2": float(self.eps2),
+            "eta": float(self.eta),
+            "dt_max": float(self.dt_max),
+            "stats": {
+                "steps": int(self.stats.steps),
+                "particle_steps": int(self.stats.particle_steps),
+                "interactions": int(self.stats.interactions),
+            },
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        system: ParticleSystem,
+        state: dict,
+        backend: ForceBackend | None = None,
+        tracer: Tracer | None = None,
+    ) -> "HermiteIntegrator":
+        """Rebuild mid-run from :meth:`state_dict` without rerunning the
+        startup force evaluation."""
+        if state.get("kind") != "shared":
+            raise ValueError(f"not a shared-integrator state: {state.get('kind')!r}")
+        integ = cls.__new__(cls)
+        integ.system = system
+        integ.eps2 = float(state["eps2"])
+        integ.eta = float(state["eta"])
+        integ.backend = backend if backend is not None else DirectSummation(integ.eps2)
+        integ.dt_max = float(state["dt_max"])
+        integ.t = float(state["t"])
+        st = state["stats"]
+        integ.stats = SharedStepStatistics(
+            steps=int(st["steps"]),
+            particle_steps=int(st["particle_steps"]),
+            interactions=int(st["interactions"]),
+        )
+        integ._tracer = tracer
+        return integ
+
     def _shared_dt(self) -> float:
         s = self.system
         if np.all(s.snap == 0.0) and np.all(s.crackle == 0.0):

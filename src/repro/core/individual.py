@@ -154,6 +154,76 @@ class BlockTimestepIntegrator:
         )
         s.t[...] = 0.0
 
+    # -- state introspection (checkpoint/resume) ----------------------------
+
+    def state_dict(self) -> dict:
+        """Integrator state beyond the particle arrays.
+
+        Together with ``self.system`` this is everything a resumed run
+        needs to continue bit-identically: the accuracy parameters, the
+        system clock, the run counters and the scheduler's pending
+        block times.  The force backend is *not* part of the state —
+        every blockstep re-uploads the full j-side, so a freshly built
+        backend of the same configuration reproduces the same forces
+        (property-pinned in the emulation-mode tests).
+        """
+        return {
+            "kind": "block",
+            "t": float(self.t),
+            "eps2": float(self.eps2),
+            "eta": float(self.eta),
+            "eta_start": float(self.eta_start),
+            "dt_max": float(self.dt_max),
+            "dt_min": float(self.dt_min),
+            "record_block_sizes": bool(self.record_block_sizes),
+            "stats": {
+                "blocksteps": int(self.stats.blocksteps),
+                "particle_steps": int(self.stats.particle_steps),
+                "interactions": int(self.stats.interactions),
+                "block_sizes": [int(b) for b in self.stats.block_sizes],
+            },
+            "scheduler_t_next": np.array(self.scheduler.t_next),
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        system: ParticleSystem,
+        state: dict,
+        backend: ForceBackend | None = None,
+        tracer: Tracer | None = None,
+    ) -> "BlockTimestepIntegrator":
+        """Rebuild an integrator mid-run from :meth:`state_dict`.
+
+        Bypasses ``__init__`` — the startup force evaluation and
+        timestep assignment must *not* rerun, or the restored run would
+        diverge from the uninterrupted one at the first blockstep.
+        """
+        if state.get("kind") != "block":
+            raise ValueError(f"not a block-integrator state: {state.get('kind')!r}")
+        integ = cls.__new__(cls)
+        integ.system = system
+        integ.eps2 = float(state["eps2"])
+        integ.eta = float(state["eta"])
+        integ.eta_start = float(state["eta_start"])
+        integ.backend = backend if backend is not None else DirectSummation(integ.eps2)
+        integ.dt_max = float(state["dt_max"])
+        integ.dt_min = float(state["dt_min"])
+        integ.record_block_sizes = bool(state["record_block_sizes"])
+        integ._tracer = tracer
+        integ.t = float(state["t"])
+        st = state["stats"]
+        integ.stats = StepStatistics(
+            blocksteps=int(st["blocksteps"]),
+            particle_steps=int(st["particle_steps"]),
+            interactions=int(st["interactions"]),
+            block_sizes=[int(b) for b in st["block_sizes"]],
+        )
+        integ._xp = np.empty_like(system.pos)
+        integ._vp = np.empty_like(system.vel)
+        integ.scheduler = BlockScheduler.from_t_next(state["scheduler_t_next"])
+        return integ
+
     # -- one blockstep ------------------------------------------------------
 
     def step(self) -> tuple[float, int]:

@@ -41,6 +41,23 @@ class BlockScheduler:
             raise ValueError("all timesteps must be positive")
         self._t_next = t + dt
 
+    @classmethod
+    def from_t_next(cls, t_next: np.ndarray) -> "BlockScheduler":
+        """Rebuild a scheduler from a saved ``t_next`` array.
+
+        The checkpoint/resume path must restore the exact block state —
+        reconstructing from ``(t, dt)`` would be equivalent here, but
+        storing ``t_next`` verbatim keeps the invariant explicit: a
+        restored scheduler emits bit-identical blocks in the same
+        order.
+        """
+        t_next = np.array(t_next, dtype=np.float64)
+        if t_next.ndim != 1 or t_next.size == 0:
+            raise ValueError("t_next must be a non-empty 1-D array")
+        sched = cls.__new__(cls)
+        sched._t_next = t_next
+        return sched
+
     @property
     def t_next(self) -> np.ndarray:
         """Per-particle next update times (read-only view)."""

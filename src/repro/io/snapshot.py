@@ -1,4 +1,4 @@
-"""Snapshot files.
+"""Snapshot files and the lossless JSON codec they ride on.
 
 A minimal self-describing format in NumPy's ``.npz`` container: masses,
 positions, velocities, per-particle times/steps and the force
@@ -6,12 +6,22 @@ derivatives, plus a metadata header.  Production GRAPE runs checkpoint
 exactly this state ("The whole simulation, including file operations,
 took 16.30 hours" — file operations are part of the accounted wall
 time), and restart capability requires the higher derivatives too.
+
+The metadata header goes through :func:`encode_json_safe`, a small
+reversible codec that carries numpy scalars (``np.generic``), numpy
+arrays and ``numpy.random.Generator`` state losslessly through JSON —
+Python floats are IEEE doubles and ``json`` emits the shortest
+round-tripping repr, so float64 survives bit-exactly, and integers of
+any width survive because JSON integers are arbitrary precision.  The
+checkpoint subsystem (:mod:`repro.io.checkpoint`) reuses the same codec
+for its provenance block.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import Any
 
 import numpy as np
 
@@ -20,6 +30,90 @@ from ..core.particles import ParticleSystem
 #: Format version written into every snapshot.
 SNAPSHOT_VERSION = 1
 
+#: Marker keys used by the JSON-safe codec.  Chosen to be improbable in
+#: user metadata; :func:`encode_json_safe` refuses dicts that already
+#: use them rather than silently mangling the payload.
+_ARRAY_KEY = "__npz.ndarray__"
+_SCALAR_KEY = "__npz.scalar__"
+_RNG_KEY = "__npz.rng__"
+
+
+def encode_json_safe(obj: Any) -> Any:
+    """Recursively convert numpy values into plain JSON structures.
+
+    Handles ``np.ndarray`` (any numeric/bool dtype, any shape),
+    ``np.generic`` scalars and ``numpy.random.Generator`` instances;
+    containers (dict/list/tuple) are walked.  The transformation is
+    reversed losslessly by :func:`decode_json_safe`.
+    """
+    if isinstance(obj, np.random.Generator):
+        return {_RNG_KEY: encode_json_safe(obj.bit_generator.state)}
+    if isinstance(obj, np.ndarray):
+        if obj.dtype.kind not in "biuf":
+            raise TypeError(
+                f"cannot JSON-encode array of dtype {obj.dtype!r} losslessly"
+            )
+        return {
+            _ARRAY_KEY: obj.dtype.str,
+            "shape": list(obj.shape),
+            "data": obj.reshape(-1).tolist(),
+        }
+    if isinstance(obj, np.generic):
+        if obj.dtype.kind not in "biuf":
+            raise TypeError(
+                f"cannot JSON-encode scalar of dtype {obj.dtype!r} losslessly"
+            )
+        return {_SCALAR_KEY: obj.dtype.str, "value": obj.item()}
+    if isinstance(obj, dict):
+        for marker in (_ARRAY_KEY, _SCALAR_KEY, _RNG_KEY):
+            if marker in obj:
+                raise ValueError(f"metadata key {marker!r} is reserved")
+        return {str(k): encode_json_safe(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [encode_json_safe(v) for v in obj]
+    return obj
+
+
+def decode_json_safe(obj: Any) -> Any:
+    """Inverse of :func:`encode_json_safe`."""
+    if isinstance(obj, dict):
+        if _RNG_KEY in obj:
+            return rng_from_state(decode_json_safe(obj[_RNG_KEY]))
+        if _ARRAY_KEY in obj:
+            arr = np.asarray(obj["data"], dtype=np.dtype(obj[_ARRAY_KEY]))
+            return arr.reshape(tuple(obj["shape"]))
+        if _SCALAR_KEY in obj:
+            return np.dtype(obj[_SCALAR_KEY]).type(obj["value"])
+        return {k: decode_json_safe(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [decode_json_safe(v) for v in obj]
+    return obj
+
+
+def rng_state(gen: np.random.Generator) -> dict:
+    """JSON-ready state of a ``numpy.random.Generator`` (lossless)."""
+    return encode_json_safe(gen.bit_generator.state)
+
+
+def rng_from_state(state: dict) -> np.random.Generator:
+    """Rebuild a ``numpy.random.Generator`` from :func:`rng_state`.
+
+    The bit-generator class is looked up by the name recorded in the
+    state dict (PCG64, MT19937, Philox, SFC64, ...), so a restored
+    generator continues the exact stream the saved one would have
+    produced.
+    """
+    state = decode_json_safe(state)
+    name = state.get("bit_generator")
+    cls = getattr(np.random, str(name), None)
+    if cls is None or not isinstance(cls, type) or not issubclass(
+        cls, np.random.BitGenerator
+    ):
+        raise ValueError(f"unknown bit generator {name!r}")
+    bitgen = cls()
+    bitgen.state = state
+    return np.random.Generator(bitgen)
+
 
 def write_snapshot(
     path: str | Path,
@@ -27,10 +121,16 @@ def write_snapshot(
     t: float,
     metadata: dict | None = None,
 ) -> None:
-    """Write a restartable snapshot of the system state."""
+    """Write a restartable snapshot of the system state.
+
+    ``metadata`` may contain numpy scalars, numpy arrays and
+    ``numpy.random.Generator`` instances; they round-trip losslessly
+    (see :func:`encode_json_safe`).
+    """
     meta = {"version": SNAPSHOT_VERSION, "t": float(t), "n": system.n}
     if metadata:
         meta.update(metadata)
+    meta = encode_json_safe(meta)
     np.savez_compressed(
         Path(path),
         header=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
@@ -50,7 +150,7 @@ def write_snapshot(
 def read_snapshot(path: str | Path) -> tuple[ParticleSystem, dict]:
     """Read a snapshot; returns (system, metadata)."""
     with np.load(Path(path)) as data:
-        meta = json.loads(bytes(data["header"]).decode())
+        meta = decode_json_safe(json.loads(bytes(data["header"]).decode()))
         if meta.get("version") != SNAPSHOT_VERSION:
             raise ValueError(f"unsupported snapshot version {meta.get('version')!r}")
         system = ParticleSystem(data["mass"], data["pos"], data["vel"])

@@ -1,0 +1,316 @@
+"""Job specifications (``repro.job/1``) and the on-disk job directory.
+
+A job is one JSON document.  Three kinds:
+
+``run``
+    A checkpointed integration: sample a model (or load a snapshot),
+    integrate to ``t_end`` under the block-timestep Hermite scheme,
+    emitting snapshot-bus records and periodic checkpoints.  This is
+    the paper's production workload (§5) made survivable.
+``sweep``
+    One benchmark-suite execution through :mod:`repro.bench`, its
+    artifact written into the job directory and published on the bus
+    (the history consumer ingests it).
+``calibrate``
+    Fit perfmodel constants from artifact files
+    (:mod:`repro.perfmodel.calibrate`).
+
+Job directory layout (all relative to the directory ``submit``
+creates)::
+
+    job.json          the spec, verbatim
+    state.json        live status (atomic rewrite per update)
+    bus.jsonl         the snapshot-bus archive
+    progress.log      the progress reporter's lines
+    checkpoints/      ckpt_<blockstep>.npz, newest wins on resume
+    final.npz         the completed run's raw particle state
+    BENCH_*.json      sweep artifacts
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from ..core.particles import ParticleSystem
+from ..core.softening import constant_softening
+from ..models import (
+    cold_sphere,
+    king_model,
+    kuiper_belt_model,
+    plummer_model,
+    uniform_sphere,
+)
+
+#: Bump on breaking spec-layout changes.
+JOB_SCHEMA = "repro.job/1"
+#: Bump on breaking state-layout changes.
+STATE_SCHEMA = "repro.job_state/1"
+
+JOB_KINDS = ("run", "sweep", "calibrate")
+
+#: Job lifecycle states.  ``interrupted`` always implies a usable
+#: checkpoint exists (SIGTERM, wall/step budget); ``failed`` does not.
+STATUSES = (
+    "queued", "running", "interrupted", "completed", "failed",
+)
+
+#: Model name -> sampler.  Every sampler takes (n, seed, **extra).
+MODELS: dict[str, Callable[..., ParticleSystem]] = {
+    "plummer": plummer_model,
+    "king": king_model,
+    "uniform": uniform_sphere,
+    "cold": cold_sphere,
+    "kuiper": kuiper_belt_model,
+}
+
+
+class JobError(ValueError):
+    """Raised for malformed job specs and job directories."""
+
+
+@dataclass
+class JobSpec:
+    """Validated in-memory form of one job document."""
+
+    kind: str
+    name: str
+    params: dict[str, Any] = field(default_factory=dict)
+    #: Checkpoint cadence in blocksteps (run jobs).
+    checkpoint_every: int = 64
+    #: Additional wall-clock checkpoint cadence in seconds (optional).
+    checkpoint_every_s: float | None = None
+    #: Emit a ``state`` record every this many blocksteps.
+    sample_every: int = 16
+    #: Budgets: the supervisor checkpoints and exits ``interrupted``
+    #: when either is exceeded (cumulative across resume segments for
+    #: wall seconds).
+    max_wall_s: float | None = None
+    max_blocksteps: int | None = None
+    #: Free-text provenance, forwarded into sweep artifacts (--notes).
+    notes: str | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {
+            "schema": JOB_SCHEMA,
+            "kind": self.kind,
+            "name": self.name,
+            "params": dict(self.params),
+            "checkpoint_every": self.checkpoint_every,
+            "sample_every": self.sample_every,
+        }
+        for key in ("checkpoint_every_s", "max_wall_s", "max_blocksteps", "notes"):
+            value = getattr(self, key)
+            if value is not None:
+                doc[key] = value
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Any, source: str = "job spec") -> "JobSpec":
+        if not isinstance(doc, dict):
+            raise JobError(f"{source}: spec must be an object")
+        if doc.get("schema") != JOB_SCHEMA:
+            raise JobError(
+                f"{source}: schema {doc.get('schema')!r} not supported "
+                f"(need {JOB_SCHEMA!r})"
+            )
+        kind = doc.get("kind")
+        if kind not in JOB_KINDS:
+            raise JobError(
+                f"{source}: kind {kind!r} not one of {', '.join(JOB_KINDS)}"
+            )
+        name = doc.get("name")
+        if not isinstance(name, str) or not re.fullmatch(r"[\w.-]{1,64}", name):
+            raise JobError(
+                f"{source}: 'name' must be 1-64 word characters/dots/dashes"
+            )
+        params = doc.get("params", {})
+        if not isinstance(params, dict):
+            raise JobError(f"{source}: 'params' must be an object")
+        spec = cls(
+            kind=kind,
+            name=name,
+            params=dict(params),
+            checkpoint_every=int(doc.get("checkpoint_every", 64)),
+            checkpoint_every_s=doc.get("checkpoint_every_s"),
+            sample_every=int(doc.get("sample_every", 16)),
+            max_wall_s=doc.get("max_wall_s"),
+            max_blocksteps=doc.get("max_blocksteps"),
+            notes=doc.get("notes"),
+        )
+        if spec.checkpoint_every < 1 or spec.sample_every < 1:
+            raise JobError(f"{source}: cadences must be positive")
+        for key in ("checkpoint_every_s", "max_wall_s"):
+            value = getattr(spec, key)
+            if value is not None and (
+                isinstance(value, bool) or not isinstance(value, (int, float))
+                or value <= 0
+            ):
+                raise JobError(f"{source}: {key!r} must be a positive number")
+        if spec.max_blocksteps is not None and (
+            isinstance(spec.max_blocksteps, bool)
+            or not isinstance(spec.max_blocksteps, int)
+            or spec.max_blocksteps < 1
+        ):
+            raise JobError(f"{source}: 'max_blocksteps' must be a positive int")
+        if spec.notes is not None and not isinstance(spec.notes, str):
+            raise JobError(f"{source}: 'notes' must be a string")
+        if kind == "run":
+            _validate_run_params(spec.params, source)
+        elif kind == "sweep":
+            if not isinstance(spec.params.get("suite", "smoke"), str):
+                raise JobError(f"{source}: sweep 'suite' must be a string")
+        elif kind == "calibrate":
+            arts = spec.params.get("artifacts")
+            if not isinstance(arts, list) or not arts:
+                raise JobError(
+                    f"{source}: calibrate needs a non-empty 'artifacts' list"
+                )
+        return spec
+
+
+def _validate_run_params(params: dict[str, Any], source: str) -> None:
+    model = params.get("model", "plummer")
+    if model not in MODELS:
+        raise JobError(
+            f"{source}: model {model!r} not one of {', '.join(sorted(MODELS))}"
+        )
+    n = params.get("n")
+    if isinstance(n, bool) or not isinstance(n, int) or n < 2:
+        raise JobError(f"{source}: run 'n' must be an int >= 2")
+    t_end = params.get("t_end")
+    if isinstance(t_end, bool) or not isinstance(t_end, (int, float)) or t_end <= 0:
+        raise JobError(f"{source}: run 't_end' must be a positive number")
+    backend = params.get("backend", "direct")
+    if backend not in ("direct", "grape"):
+        raise JobError(f"{source}: backend {backend!r} not 'direct' or 'grape'")
+    mode = params.get("emulation_mode", "batched")
+    if mode not in ("batched", "faithful"):
+        raise JobError(
+            f"{source}: emulation_mode {mode!r} not 'batched' or 'faithful'"
+        )
+
+
+def load_job(path: str | Path) -> JobSpec:
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text())
+    except OSError as exc:
+        raise JobError(f"{path}: cannot read spec: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise JobError(f"{path}: not valid JSON: {exc}") from exc
+    return JobSpec.from_dict(doc, source=str(path))
+
+
+# -- the job directory ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JobPaths:
+    """Resolved paths inside one job directory."""
+
+    root: Path
+
+    @property
+    def spec(self) -> Path:
+        return self.root / "job.json"
+
+    @property
+    def state(self) -> Path:
+        return self.root / "state.json"
+
+    @property
+    def archive(self) -> Path:
+        return self.root / "bus.jsonl"
+
+    @property
+    def progress(self) -> Path:
+        return self.root / "progress.log"
+
+    @property
+    def checkpoints(self) -> Path:
+        return self.root / "checkpoints"
+
+    @property
+    def final_snapshot(self) -> Path:
+        return self.root / "final.npz"
+
+    def checkpoint_path(self, blockstep: int) -> Path:
+        return self.checkpoints / f"ckpt_{blockstep:010d}.npz"
+
+    def latest_checkpoint(self) -> Path | None:
+        """Newest checkpoint by blockstep index (file-name order)."""
+        if not self.checkpoints.is_dir():
+            return None
+        found = sorted(self.checkpoints.glob("ckpt_*.npz"))
+        return found[-1] if found else None
+
+
+def write_state(paths: JobPaths, status: str, **fields: Any) -> dict[str, Any]:
+    """Atomically rewrite ``state.json`` (temp + rename)."""
+    if status not in STATUSES:
+        raise JobError(f"unknown status {status!r}")
+    state = {
+        "schema": STATE_SCHEMA,
+        "status": status,
+        "updated_unix": time.time(),
+        "pid": os.getpid(),
+        **fields,
+    }
+    paths.root.mkdir(parents=True, exist_ok=True)
+    tmp = paths.state.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(state, indent=2, sort_keys=True) + "\n")
+    tmp.replace(paths.state)
+    return state
+
+
+def read_state(paths: JobPaths) -> dict[str, Any]:
+    try:
+        state = json.loads(paths.state.read_text())
+    except OSError as exc:
+        raise JobError(f"{paths.state}: cannot read state: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise JobError(f"{paths.state}: not valid JSON: {exc}") from exc
+    if not isinstance(state, dict) or state.get("schema") != STATE_SCHEMA:
+        raise JobError(
+            f"{paths.state}: schema {state.get('schema') if isinstance(state, dict) else None!r} "
+            f"not supported (need {STATE_SCHEMA!r})"
+        )
+    return state
+
+
+# -- workload construction --------------------------------------------------
+
+
+def build_system(params: dict[str, Any]) -> ParticleSystem:
+    """Sample the run job's initial model (seeded, reproducible)."""
+    model = MODELS[params.get("model", "plummer")]
+    kwargs = dict(params.get("model_args", {}))
+    return model(params["n"], seed=params.get("seed", 1), **kwargs)
+
+
+def resolve_eps2(params: dict[str, Any]) -> float:
+    """Softening squared: explicit ``eps`` wins, else the paper's
+    constant law (eps = 1/64)."""
+    eps = params.get("eps")
+    if eps is None:
+        eps = constant_softening(int(params["n"]))
+    return float(eps) ** 2
+
+
+def build_backend(params: dict[str, Any]):
+    """The force backend the spec asks for (None = direct float64)."""
+    if params.get("backend", "direct") != "grape":
+        return None
+    from ..hardware.system import Grape6Emulator
+
+    return Grape6Emulator(
+        resolve_eps2(params),
+        boards=int(params.get("boards", 1)),
+        emulation_mode=params.get("emulation_mode", "batched"),
+    )

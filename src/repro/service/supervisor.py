@@ -1,0 +1,417 @@
+"""The job supervisor: budgets, checkpoints, signals, resume.
+
+One :class:`Supervisor` owns one job directory and drives one job
+through its lifecycle.  For ``run`` jobs the loop is:
+
+* step the block-timestep integrator;
+* every ``sample_every`` blocksteps publish a ``state`` record;
+* every ``checkpoint_every`` blocksteps (or ``checkpoint_every_s``
+  wall seconds) write a durable checkpoint and publish ``checkpoint``
+  + ``phases`` records;
+* on SIGTERM/SIGINT, wall-budget or blockstep-budget exhaustion:
+  checkpoint, mark the job ``interrupted`` and exit cleanly;
+* on completion: final checkpoint, raw ``final.npz`` snapshot,
+  ``completed`` state.
+
+``execute(resume=True)`` restores the newest checkpoint and continues
+**bit identically** (the property pin in
+``tests/property/test_prop_checkpoint_resume.py``), publishing a
+``discontinuity`` record first: the archive downstream of a resume is
+explicit about the records that never happened, and about whether the
+resuming process runs the same commit/machine the checkpoint came
+from.
+
+Wall budgets are cumulative: each checkpoint carries the wall seconds
+consumed so far in its ``clocks`` block, so a job killed and resumed
+five times still respects one total budget.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from pathlib import Path
+from typing import Any, IO
+
+import numpy as np
+
+from ..core.individual import BlockTimestepIntegrator
+from ..core.timestep import DEFAULT_ETA, DEFAULT_ETA_START
+from ..io.checkpoint import (
+    checkpoint_provenance,
+    read_checkpoint,
+    restore_integrator,
+    write_checkpoint,
+)
+from ..io.snapshot import write_snapshot
+from ..telemetry import StreamingPhaseSink, Tracer, set_tracer
+from .bus import SnapshotBus
+from .consumers import ArchiveWriter, BenchHistoryIngester, ProgressReporter
+from .jobs import (
+    JobError,
+    JobPaths,
+    JobSpec,
+    build_backend,
+    build_system,
+    load_job,
+    read_state,
+    resolve_eps2,
+    write_state,
+)
+from .records import (
+    KIND_BENCH_ARTIFACT,
+    KIND_CHECKPOINT,
+    KIND_DISCONTINUITY,
+    KIND_JOB,
+    KIND_PHASES,
+    KIND_STATE,
+)
+
+
+class GracefulShutdown:
+    """Context manager turning SIGTERM/SIGINT into a checked flag.
+
+    The handler only sets a flag — the supervisor finishes the current
+    blockstep, checkpoints, and exits on its own schedule, which is
+    what makes the interruption resumable instead of corrupting.
+    Outside the main thread (some test runners) signal handlers cannot
+    be installed; the manager degrades to a never-triggered flag.
+    """
+
+    SIGNALS = (signal.SIGTERM, signal.SIGINT)
+
+    def __init__(self) -> None:
+        self.triggered = False
+        self.signum: int | None = None
+        self._old: dict[int, Any] = {}
+
+    def _handle(self, signum, frame) -> None:
+        self.triggered = True
+        self.signum = signum
+
+    def __enter__(self) -> "GracefulShutdown":
+        if threading.current_thread() is threading.main_thread():
+            for sig in self.SIGNALS:
+                self._old[sig] = signal.signal(sig, self._handle)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        for sig, old in self._old.items():
+            signal.signal(sig, old)
+        self._old.clear()
+
+
+class Supervisor:
+    """Owns one job directory; see the module docstring."""
+
+    def __init__(
+        self,
+        jobdir: str | Path,
+        history_path: str | Path | None = None,
+        threaded_bus: bool = True,
+    ) -> None:
+        self.paths = JobPaths(Path(jobdir))
+        self._history_path = history_path
+        self._threaded_bus = bool(threaded_bus)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @classmethod
+    def submit(cls, spec: JobSpec, jobdir: str | Path, **kwargs) -> "Supervisor":
+        """Create the job directory and enqueue ``spec`` (status
+        ``queued``); does not execute."""
+        sup = cls(jobdir, **kwargs)
+        paths = sup.paths
+        if paths.spec.exists():
+            raise JobError(f"{paths.spec}: job already exists")
+        paths.root.mkdir(parents=True, exist_ok=True)
+        import json
+
+        paths.spec.write_text(
+            json.dumps(spec.as_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        write_state(paths, "queued", name=spec.name, kind=spec.kind)
+        return sup
+
+    def execute(self, resume: bool = False) -> str:
+        """Run (or resume) the job to a terminal or interrupted state.
+
+        Returns the final status string (``completed`` /
+        ``interrupted`` / ``failed``).
+        """
+        spec = load_job(self.paths.spec)
+        progress_fh: IO[str] = self.paths.progress.open("a")
+        consumers = [
+            ArchiveWriter(self.paths.archive),
+            ProgressReporter(progress_fh),
+        ]
+        if self._history_path is not None:
+            consumers.append(BenchHistoryIngester(self._history_path))
+        bus = SnapshotBus(consumers, threaded=self._threaded_bus)
+        try:
+            if spec.kind == "run":
+                return self._execute_run(spec, bus, resume)
+            if resume:
+                raise JobError(f"{spec.kind!r} jobs are not resumable")
+            if spec.kind == "sweep":
+                return self._execute_oneshot(spec, bus, self._run_sweep)
+            return self._execute_oneshot(spec, bus, self._run_calibrate)
+        finally:
+            stats = bus.close()
+            progress_fh.write(f"bus: {stats}\n")
+            progress_fh.close()
+
+    # -- run jobs -----------------------------------------------------------
+
+    def _execute_run(self, spec: JobSpec, bus: SnapshotBus, resume: bool) -> str:
+        params = spec.params
+        phase_sink = StreamingPhaseSink()
+        tracer = Tracer(enabled=True, sinks=[phase_sink])
+        backend = build_backend(params)
+
+        if resume:
+            ck_path = self.paths.latest_checkpoint()
+            if ck_path is None:
+                raise JobError(f"{self.paths.root}: no checkpoint to resume from")
+            ck = read_checkpoint(ck_path)
+            integ = restore_integrator(ck, backend=backend, tracer=tracer)
+            rng = ck.rng
+            wall_consumed = float(ck.clocks.get("wall_s", 0.0))
+            bus.emit(
+                KIND_DISCONTINUITY,
+                t=integ.t,
+                blockstep=integ.stats.blocksteps,
+                path=str(ck_path),
+                checkpoint_provenance=ck.provenance,
+                resume_provenance=checkpoint_provenance(),
+            )
+        else:
+            system = build_system(params)
+            integ = BlockTimestepIntegrator(
+                system,
+                eps2=resolve_eps2(params),
+                eta=float(params.get("eta", DEFAULT_ETA)),
+                eta_start=float(params.get("eta_start", DEFAULT_ETA_START)),
+                backend=backend,
+                dt_max=float(params.get("dt_max", 0.125)),
+                dt_min=float(params.get("dt_min", 2.0**-40)),
+                tracer=tracer,
+            )
+            rng = np.random.default_rng(params.get("seed", 1))
+            wall_consumed = 0.0
+
+        bus.emit(
+            KIND_JOB,
+            t=integ.t,
+            status="resumed" if resume else "started",
+            detail=f"{spec.name}: n={integ.system.n}, t_end={params['t_end']}",
+        )
+        write_state(
+            self.paths, "running", name=spec.name, kind=spec.kind,
+            t=integ.t, blocksteps=integ.stats.blocksteps,
+        )
+
+        t_end = float(params["t_end"])
+        segment_t0 = time.perf_counter()
+        last_ck_wall = segment_t0
+
+        def total_wall() -> float:
+            return wall_consumed + (time.perf_counter() - segment_t0)
+
+        def checkpoint(reason: str) -> Path:
+            nonlocal last_ck_wall
+            path = self.paths.checkpoint_path(integ.stats.blocksteps)
+            write_checkpoint(
+                path, integ, rng=rng,
+                clocks={"wall_s": total_wall(), "t": float(integ.t)},
+                metadata={"job": spec.name, "reason": reason,
+                          "params": dict(params)},
+            )
+            last_ck_wall = time.perf_counter()
+            bus.emit(
+                KIND_CHECKPOINT, t=integ.t, path=str(path),
+                blockstep=integ.stats.blocksteps, reason=reason,
+            )
+            bus.emit(KIND_PHASES, t=integ.t, **phase_sink.snapshot())
+            write_state(
+                self.paths, "running", name=spec.name, kind=spec.kind,
+                t=integ.t, blocksteps=integ.stats.blocksteps,
+                wall_s=total_wall(), last_checkpoint=str(path),
+            )
+            return path
+
+        interrupted: str | None = None
+        old_tracer = set_tracer(tracer)
+        try:
+            with GracefulShutdown() as stop:
+                while True:
+                    if stop.triggered:
+                        interrupted = f"signal {stop.signum}"
+                        break
+                    t_next, _ = integ.scheduler.next_block()
+                    if t_next > t_end:
+                        break
+                    integ.step()
+                    n_done = integ.stats.blocksteps
+                    if n_done % spec.sample_every == 0:
+                        self._emit_state(bus, integ)
+                    if spec.max_blocksteps is not None and (
+                        n_done >= spec.max_blocksteps
+                    ):
+                        interrupted = f"blockstep budget ({spec.max_blocksteps})"
+                        break
+                    if spec.max_wall_s is not None and (
+                        total_wall() >= spec.max_wall_s
+                    ):
+                        interrupted = f"wall budget ({spec.max_wall_s:g} s)"
+                        break
+                    if n_done % spec.checkpoint_every == 0 or (
+                        spec.checkpoint_every_s is not None
+                        and time.perf_counter() - last_ck_wall
+                        >= spec.checkpoint_every_s
+                    ):
+                        checkpoint("cadence")
+        except Exception as exc:
+            write_state(
+                self.paths, "failed", name=spec.name, kind=spec.kind,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            bus.emit(KIND_JOB, status="failed",
+                     detail=f"{type(exc).__name__}: {exc}")
+            raise
+        finally:
+            set_tracer(old_tracer)
+
+        if interrupted is not None:
+            path = checkpoint("interrupt")
+            bus.emit(KIND_JOB, t=integ.t, status="interrupted",
+                     detail=interrupted)
+            write_state(
+                self.paths, "interrupted", name=spec.name, kind=spec.kind,
+                t=integ.t, blocksteps=integ.stats.blocksteps,
+                wall_s=total_wall(), reason=interrupted,
+                last_checkpoint=str(path),
+            )
+            return "interrupted"
+
+        path = checkpoint("final")
+        self._emit_state(bus, integ)
+        write_snapshot(
+            self.paths.final_snapshot, integ.system, t=integ.t,
+            metadata={"job": spec.name, "blocksteps": integ.stats.blocksteps,
+                      "rng": rng} if rng is not None
+            else {"job": spec.name, "blocksteps": integ.stats.blocksteps},
+        )
+        bus.emit(KIND_JOB, t=integ.t, status="completed",
+                 detail=f"{integ.stats.blocksteps} blocksteps, "
+                        f"{integ.stats.particle_steps} particle steps")
+        write_state(
+            self.paths, "completed", name=spec.name, kind=spec.kind,
+            t=integ.t, blocksteps=integ.stats.blocksteps,
+            wall_s=total_wall(), last_checkpoint=str(path),
+            final_snapshot=str(self.paths.final_snapshot),
+        )
+        return "completed"
+
+    @staticmethod
+    def _emit_state(bus: SnapshotBus, integ: BlockTimestepIntegrator) -> None:
+        """Publish one ``state`` sample from maintained quantities only
+        (no extra force evaluations — safe at any cadence)."""
+        s = integ.system
+        kinetic = 0.5 * float(np.sum(s.mass * np.sum(s.vel * s.vel, axis=1)))
+        potential = 0.5 * float(np.sum(s.mass * s.pot))
+        stats = integ.stats
+        bus.emit(
+            KIND_STATE,
+            t=integ.t,
+            blocksteps=stats.blocksteps,
+            particle_steps=stats.particle_steps,
+            interactions=stats.interactions,
+            mean_block_size=stats.mean_block_size,
+            last_block_size=(stats.block_sizes[-1]
+                             if stats.block_sizes else None),
+            energy=kinetic + potential,
+            kinetic=kinetic,
+            potential=potential,
+        )
+
+    # -- one-shot jobs (sweep / calibrate) ----------------------------------
+
+    def _execute_oneshot(self, spec: JobSpec, bus: SnapshotBus, body) -> str:
+        bus.emit(KIND_JOB, status="started", detail=spec.name)
+        write_state(self.paths, "running", name=spec.name, kind=spec.kind)
+        try:
+            detail = body(spec, bus)
+        except Exception as exc:
+            write_state(
+                self.paths, "failed", name=spec.name, kind=spec.kind,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            bus.emit(KIND_JOB, status="failed",
+                     detail=f"{type(exc).__name__}: {exc}")
+            raise
+        bus.emit(KIND_JOB, status="completed", detail=detail)
+        write_state(self.paths, "completed", name=spec.name, kind=spec.kind)
+        return "completed"
+
+    def _run_sweep(self, spec: JobSpec, bus: SnapshotBus) -> str:
+        from ..bench.artifact import write_artifact
+        from ..bench.runner import run_suite
+
+        # registration side effect: populate the benchmark registry
+        from ..bench import suites as _suites  # noqa: F401
+
+        params = spec.params
+        artifact = run_suite(
+            params.get("suite", "smoke"),
+            repeats=int(params.get("repeats", 3)),
+            warmup=int(params.get("warmup", 1)),
+            label=params.get("label", spec.name),
+            names=params.get("benchmarks"),
+            seed=params.get("seed"),
+            tag=params.get("tag"),
+            notes=spec.notes,
+        )
+        path = write_artifact(artifact, self.paths.root / f"BENCH_{spec.name}.json")
+        bus.emit(KIND_BENCH_ARTIFACT, artifact=artifact, path=str(path))
+        return f"{len(artifact['benchmarks'])} benchmarks -> {path.name}"
+
+    def _run_calibrate(self, spec: JobSpec, bus: SnapshotBus) -> str:
+        from ..bench.artifact import read_artifact
+        from ..perfmodel.calibrate import (
+            calibrate_artifacts,
+            load_calibration,
+            merge_calibration,
+            save_calibration,
+        )
+
+        artifacts = [read_artifact(p) for p in spec.params["artifacts"]]
+        update = calibrate_artifacts(artifacts)
+        out = Path(spec.params.get("out", self.paths.root / "calibration.json"))
+        save_calibration(merge_calibration(load_calibration(out), update), out)
+        return f"{len(update['environments'])} environment(s) -> {out}"
+
+    # -- inspection ---------------------------------------------------------
+
+    def status(self) -> dict[str, Any]:
+        """state.json plus checkpoint inventory, for the CLI."""
+        state = read_state(self.paths)
+        checkpoints = (
+            sorted(p.name for p in self.paths.checkpoints.glob("ckpt_*.npz"))
+            if self.paths.checkpoints.is_dir()
+            else []
+        )
+        return {
+            **state,
+            "jobdir": str(self.paths.root),
+            "checkpoints": checkpoints,
+            "archive_records": _count_lines(self.paths.archive),
+        }
+
+
+def _count_lines(path: Path) -> int:
+    if not path.exists():
+        return 0
+    with path.open("rb") as fh:
+        return sum(1 for _ in fh)

@@ -55,7 +55,14 @@ from .phases import (
     SpanSummary,
 )
 from .report import breakdown_json, render_breakdown, render_metrics
-from .sinks import InMemorySink, JSONLSink, Sink, SummarySink, read_spans
+from .sinks import (
+    InMemorySink,
+    JSONLSink,
+    Sink,
+    StreamingPhaseSink,
+    SummarySink,
+    read_spans,
+)
 from .sampler import (
     SOURCE_FRAMES,
     SOURCE_NONE,
@@ -101,6 +108,7 @@ __all__ = [
     "InMemorySink",
     "JSONLSink",
     "SummarySink",
+    "StreamingPhaseSink",
     "read_spans",
     "render_breakdown",
     "render_metrics",

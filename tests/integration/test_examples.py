@@ -79,6 +79,11 @@ class TestExamplesRun:
         doc = validate_timeline(json.loads(trace.read_text()))
         assert any(e["ph"] == "X" for e in doc["traceEvents"])
 
+    def test_service_demo(self, capsys):
+        out = run_example("service_demo.py", "24", capsys=capsys)
+        assert "bit-identical after resume: True" in out
+        assert "discontinuity records in the archive: 1" in out
+
     @pytest.mark.parametrize(
         "name,args",
         [("star_cluster.py", ("64",)), ("planetesimal_accretion.py", ("40",))],

@@ -1,0 +1,115 @@
+"""Property: checkpoint/resume is invisible to the physics.
+
+The service's durability contract (ISSUE: the job runner) is that a
+run killed at *any* blockstep and resumed from its checkpoint produces
+positions, velocities and per-particle times **bit-identical** to the
+uninterrupted run — no drift, no re-quantisation, no RNG divergence.
+Hypothesis drives the kill point; the pin covers two cluster sizes and
+both emulator datapaths (batched and faithful) on top of the direct
+float64 backend, because a checkpoint that survives only one backend
+is not a checkpoint format.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.individual import BlockTimestepIntegrator
+from repro.hardware import Grape6Emulator
+from repro.io.checkpoint import (
+    read_checkpoint,
+    restore_integrator,
+    write_checkpoint,
+)
+from repro.models import plummer_model
+
+EPS2 = 1.0 / 4096.0
+ETA = 0.02
+
+
+def make_integrator(n, seed, backend_mode=None):
+    backend = (
+        None if backend_mode is None
+        else Grape6Emulator(EPS2, emulation_mode=backend_mode)
+    )
+    return BlockTimestepIntegrator(
+        plummer_model(n, seed=seed), EPS2, eta=ETA, backend=backend
+    )
+
+
+def assert_state_identical(a, b):
+    """The resumed integrator is indistinguishable from the reference."""
+    np.testing.assert_array_equal(a.system.pos, b.system.pos)
+    np.testing.assert_array_equal(a.system.vel, b.system.vel)
+    np.testing.assert_array_equal(a.system.t, b.system.t)
+    np.testing.assert_array_equal(a.system.dt, b.system.dt)
+    np.testing.assert_array_equal(a.system.acc, b.system.acc)
+    np.testing.assert_array_equal(a.system.jerk, b.system.jerk)
+    assert a.t == b.t
+    assert a.stats.blocksteps == b.stats.blocksteps
+    assert a.stats.particle_steps == b.stats.particle_steps
+
+
+def run_killed_and_reference(tmp_path, n, seed, kill_at, total,
+                             backend_mode=None):
+    """Integrate ``total`` blocksteps uninterrupted, and again with a
+    checkpoint+restore at blockstep ``kill_at``; return both."""
+    reference = make_integrator(n, seed, backend_mode)
+    for _ in range(total):
+        reference.step()
+
+    victim = make_integrator(n, seed, backend_mode)
+    for _ in range(kill_at):
+        victim.step()
+    path = tmp_path / "kill.npz"
+    write_checkpoint(path, victim)
+    del victim  # the process is gone; only the file survives
+
+    backend = (
+        None if backend_mode is None
+        else Grape6Emulator(EPS2, emulation_mode=backend_mode)
+    )
+    resumed = restore_integrator(read_checkpoint(path), backend=backend)
+    for _ in range(total - kill_at):
+        resumed.step()
+    return reference, resumed
+
+
+class TestResumeBitIdentity:
+    @settings(max_examples=8, deadline=None)
+    @given(kill_at=st.integers(min_value=1, max_value=29))
+    def test_random_kill_point_direct(self, tmp_path_factory, kill_at):
+        tmp_path = tmp_path_factory.mktemp("ckpt")
+        reference, resumed = run_killed_and_reference(
+            tmp_path, n=24, seed=42, kill_at=kill_at, total=30
+        )
+        assert_state_identical(reference, resumed)
+
+    @pytest.mark.parametrize("n,seed", [(16, 7), (48, 19)])
+    @pytest.mark.parametrize("mode", ["batched", "faithful"])
+    def test_cluster_sizes_and_emulator_modes(self, tmp_path, n, seed, mode):
+        reference, resumed = run_killed_and_reference(
+            tmp_path, n=n, seed=seed, kill_at=6, total=14,
+            backend_mode=mode,
+        )
+        assert_state_identical(reference, resumed)
+
+    def test_double_resume(self, tmp_path):
+        """Kill twice: checkpoint-of-a-resumed-run still bit-identical."""
+        reference = make_integrator(24, 5)
+        for _ in range(18):
+            reference.step()
+
+        integ = make_integrator(24, 5)
+        for _ in range(5):
+            integ.step()
+        write_checkpoint(tmp_path / "first.npz", integ)
+        integ = restore_integrator(read_checkpoint(tmp_path / "first.npz"))
+        for _ in range(7):
+            integ.step()
+        write_checkpoint(tmp_path / "second.npz", integ)
+        integ = restore_integrator(read_checkpoint(tmp_path / "second.npz"))
+        for _ in range(6):
+            integ.step()
+        assert_state_identical(reference, integ)

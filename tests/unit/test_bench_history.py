@@ -1,12 +1,14 @@
 """Bench history store and trajectory rendering (repro.bench.history).
 
 Properties pinned here: idempotent ingest keyed by (machine, commit,
-suite, label), per-benchmark deltas computed only within one
-environment fingerprint, the model-vs-measured drift flag, and strict
-rejection of foreign or corrupt history rows.
+suite, label) — including under concurrent writers — per-benchmark
+deltas computed only within one environment fingerprint, the
+model-vs-measured drift flag, notes provenance, and strict rejection
+of foreign or corrupt history rows.
 """
 
 import json
+import multiprocessing
 
 import pytest
 
@@ -33,7 +35,7 @@ ENV_B = {**ENV_A, "machine": "arm64", "git_revision": "bbbb2222"}
 
 
 def make_artifact(medians, label="t", suite="micro", env=ENV_A, ratios=None,
-                  seed=None, tag=None):
+                  seed=None, tag=None, notes=None):
     """One artifact: benchmark name -> constant-trial median seconds."""
     ratios = ratios or {}
     benchmarks = []
@@ -58,7 +60,16 @@ def make_artifact(medians, label="t", suite="micro", env=ENV_A, ratios=None,
         artifact["seed"] = seed
     if tag is not None:
         artifact["tag"] = tag
+    if notes is not None:
+        artifact["notes"] = notes
     return artifact
+
+
+def _ingest_same_artifact(args):
+    """Top-level so multiprocessing can pickle it (fork or spawn)."""
+    artifact, path = args
+    _, appended = ingest_artifact(artifact, path)
+    return appended
 
 
 class TestEnvKey:
@@ -103,6 +114,50 @@ class TestIngest:
         _, appended = ingest_artifact(make_artifact({"k": 0.4}, env=env2), path)
         assert appended
         assert len(read_history(path)) == 2
+
+    def test_notes_from_artifact_land_in_row(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        art = make_artifact({"k": 0.5}, notes="dedicated box")
+        row, appended = ingest_artifact(art, path)
+        assert appended and row["notes"] == "dedicated box"
+        assert read_history(path)[0]["notes"] == "dedicated box"
+
+    def test_ingest_notes_override_artifact_notes(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        art = make_artifact({"k": 0.5}, notes="from artifact")
+        row, _ = ingest_artifact(art, path, notes="governor pinned")
+        assert row["notes"] == "governor pinned"
+        assert read_history(path)[0]["notes"] == "governor pinned"
+
+    def test_concurrent_ingest_is_idempotent(self, tmp_path):
+        """Eight processes racing on one artifact append exactly one row,
+        and the file stays line-parseable (no interleaved bytes)."""
+        path = tmp_path / "history.jsonl"
+        art = make_artifact({"k": 0.5})
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(4) as pool:
+            results = pool.map(
+                _ingest_same_artifact, [(art, str(path))] * 8
+            )
+        assert sum(results) == 1
+        assert len(read_history(path)) == 1
+
+    def test_concurrent_distinct_commits_all_land(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        arts = [
+            make_artifact({"k": 0.5}, env={**ENV_A, "git_revision": f"r{i}"})
+            for i in range(6)
+        ]
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(3) as pool:
+            results = pool.map(
+                _ingest_same_artifact, [(a, str(path)) for a in arts]
+            )
+        assert all(results)
+        rows = read_history(path)
+        assert sorted(r["git_revision"] for r in rows) == sorted(
+            f"r{i}" for i in range(6)
+        )
 
     def test_missing_file_is_empty_history(self, tmp_path):
         assert read_history(tmp_path / "absent.jsonl") == []

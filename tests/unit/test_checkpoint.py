@@ -1,0 +1,149 @@
+"""Checkpoint files (repro.io.checkpoint, schema ``repro.checkpoint/1``).
+
+Properties pinned here: a checkpoint captures the complete integrator
+state (particles, per-particle times/steps, scheduler, statistics),
+restoring reproduces that state bit-exactly, RNG and virtual clocks
+ride along, provenance (environment fingerprint + git revision) is
+stamped, and corrupt or foreign files are rejected loudly.  The
+end-to-end resume bit-identity property lives in
+``tests/property/test_prop_checkpoint_resume.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.individual import BlockTimestepIntegrator
+from repro.io.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    Checkpoint,
+    CheckpointError,
+    checkpoint_provenance,
+    read_checkpoint,
+    restore_integrator,
+    write_checkpoint,
+)
+from repro.models import plummer_model
+
+from ..conftest import EPS2
+
+ARRAYS = ("mass", "pos", "vel", "acc", "jerk", "snap", "crackle",
+          "pot", "t", "dt")
+
+
+def make_integrator(n=24, seed=31, steps=0):
+    integ = BlockTimestepIntegrator(
+        plummer_model(n, seed=seed), EPS2, eta=0.02
+    )
+    for _ in range(steps):
+        integ.step()
+    return integ
+
+
+@pytest.fixture
+def ckpt_path(tmp_path):
+    return tmp_path / "ckpt.npz"
+
+
+class TestRoundTrip:
+    def test_arrays_bit_exact(self, ckpt_path):
+        integ = make_integrator(steps=5)
+        write_checkpoint(ckpt_path, integ)
+        ckpt = read_checkpoint(ckpt_path)
+        assert ckpt.meta["schema"] == CHECKPOINT_SCHEMA
+        for name in ARRAYS:
+            assert np.array_equal(
+                getattr(ckpt.system, name), getattr(integ.system, name)
+            ), name
+
+    def test_restore_reproduces_integrator(self, ckpt_path):
+        integ = make_integrator(steps=7)
+        write_checkpoint(ckpt_path, integ)
+        clone = restore_integrator(read_checkpoint(ckpt_path))
+        assert clone.t == integ.t
+        assert clone.eta == integ.eta and clone.eps2 == integ.eps2
+        assert clone.stats.blocksteps == integ.stats.blocksteps
+        assert clone.stats.interactions == integ.stats.interactions
+        assert np.array_equal(
+            clone.scheduler.t_next, integ.scheduler.t_next
+        )
+        # one more step on each must agree bit-exactly
+        integ.step()
+        clone.step()
+        assert np.array_equal(clone.system.pos, integ.system.pos)
+        assert np.array_equal(clone.system.vel, integ.system.vel)
+
+    def test_rng_and_clocks_ride_along(self, ckpt_path):
+        integ = make_integrator(steps=2)
+        gen = np.random.default_rng(55)
+        gen.standard_normal(9)
+        write_checkpoint(
+            ckpt_path, integ, rng=gen,
+            clocks={"wall_s": 12.5, "t": integ.t},
+        )
+        ckpt = read_checkpoint(ckpt_path)
+        assert ckpt.rng.bit_generator.state == gen.bit_generator.state
+        assert ckpt.clocks["wall_s"] == 12.5
+
+    def test_metadata_round_trips(self, ckpt_path):
+        integ = make_integrator()
+        write_checkpoint(ckpt_path, integ, metadata={"job": "demo"})
+        assert read_checkpoint(ckpt_path).meta["metadata"]["job"] == "demo"
+
+
+class TestProvenance:
+    def test_fingerprint_and_revision(self):
+        prov = checkpoint_provenance()
+        assert "environment" in prov and "python" in prov["environment"]
+        assert "git_revision" in prov
+
+    def test_written_into_header(self, ckpt_path):
+        write_checkpoint(ckpt_path, make_integrator())
+        ckpt = read_checkpoint(ckpt_path)
+        assert "environment" in ckpt.provenance
+        assert ckpt.blocksteps == 0
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises((CheckpointError, FileNotFoundError)):
+            read_checkpoint(tmp_path / "absent.npz")
+
+    def test_not_a_checkpoint(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(CheckpointError):
+            read_checkpoint(path)
+
+    def test_foreign_schema(self, ckpt_path, tmp_path):
+        integ = make_integrator()
+        write_checkpoint(ckpt_path, integ)
+        with np.load(ckpt_path) as data:
+            arrays = dict(data)
+        header = bytes(arrays["header"]).decode()
+        arrays["header"] = np.frombuffer(
+            header.replace(CHECKPOINT_SCHEMA, "other.schema/9").encode(),
+            dtype=np.uint8,
+        )
+        bad = tmp_path / "foreign.npz"
+        np.savez(bad, **arrays)
+        with pytest.raises(CheckpointError):
+            read_checkpoint(bad)
+
+    def test_truncated_arrays(self, ckpt_path, tmp_path):
+        write_checkpoint(ckpt_path, make_integrator())
+        with np.load(ckpt_path) as data:
+            arrays = dict(data)
+        del arrays["pos"]
+        bad = tmp_path / "trunc.npz"
+        np.savez(bad, **arrays)
+        with pytest.raises(CheckpointError):
+            read_checkpoint(bad)
+
+    def test_write_is_atomic(self, ckpt_path):
+        """No partial file left behind: the .npz appears only complete."""
+        write_checkpoint(ckpt_path, make_integrator())
+        leftovers = [
+            p for p in ckpt_path.parent.iterdir() if p != ckpt_path
+        ]
+        assert leftovers == []
+        read_checkpoint(ckpt_path)  # parses

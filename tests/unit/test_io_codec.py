@@ -1,0 +1,142 @@
+"""Lossless JSON codec for numpy values (repro.io.snapshot codec).
+
+Properties pinned here: ``encode_json_safe``/``decode_json_safe``
+round-trip ndarrays, ``np.generic`` scalars, and
+``numpy.random.Generator`` state through ``json.dumps`` without loss
+— float64 survives bit-exactly via shortest-repr, integers at any
+width via JSON's arbitrary-precision ints — plus the snapshot-metadata
+integration that the checkpoint layer builds on.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.io.snapshot import (
+    decode_json_safe,
+    encode_json_safe,
+    read_snapshot,
+    rng_from_state,
+    rng_state,
+    write_snapshot,
+)
+from repro.core.particles import ParticleSystem
+
+
+def roundtrip(obj):
+    """The full path a checkpoint header takes: encode, serialise to
+    text, parse, decode."""
+    return decode_json_safe(json.loads(json.dumps(encode_json_safe(obj))))
+
+
+class TestScalars:
+    @pytest.mark.parametrize("value", [
+        np.float64(0.1), np.float64(np.pi), np.float64(1e-300),
+        np.float64(-0.0), np.float32(1.5), np.int64(-(2**62)),
+        np.uint64(2**63 + 17), np.int32(-7), np.bool_(True),
+    ])
+    def test_np_scalar_bit_exact(self, value):
+        out = roundtrip(value)
+        assert isinstance(out, np.generic)
+        assert out.dtype == value.dtype
+        assert out == value or (np.isnan(value) and np.isnan(out))
+
+    def test_negative_zero_sign_preserved(self):
+        out = roundtrip(np.float64(-0.0))
+        assert np.signbit(out)
+
+    def test_nan_and_inf(self):
+        nan, inf = roundtrip([np.float64("nan"), np.float64("-inf")])
+        assert np.isnan(nan) and inf == -np.inf
+
+    def test_python_natives_pass_through(self):
+        obj = {"a": 1, "b": 0.25, "c": "s", "d": None, "e": True}
+        assert roundtrip(obj) == obj
+
+
+class TestArrays:
+    def test_float64_bit_exact(self):
+        rng = np.random.default_rng(3)
+        arr = rng.standard_normal((7, 3))
+        out = roundtrip(arr)
+        assert out.dtype == arr.dtype and out.shape == arr.shape
+        assert np.array_equal(out.view(np.uint64), arr.view(np.uint64))
+
+    @pytest.mark.parametrize("dtype", ["i8", "u4", "f4", "?"])
+    def test_dtypes(self, dtype):
+        arr = (np.arange(6) % 2).astype(dtype).reshape(2, 3)
+        out = roundtrip(arr)
+        assert out.dtype == arr.dtype and np.array_equal(out, arr)
+
+    def test_empty_and_zero_d(self):
+        out = roundtrip(np.empty((0, 3)))
+        assert out.shape == (0, 3)
+        out = roundtrip(np.array(2.5))
+        assert out.shape == () and out == 2.5
+
+    def test_object_dtype_rejected(self):
+        with pytest.raises(TypeError):
+            encode_json_safe(np.array([object()]))
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("bitgen", ["PCG64", "MT19937", "Philox", "SFC64"])
+    def test_generator_stream_continues_identically(self, bitgen):
+        cls = getattr(np.random, bitgen)
+        gen = np.random.Generator(cls(1234))
+        gen.standard_normal(100)  # advance past the seed point
+        clone = roundtrip(gen)
+        assert isinstance(clone, np.random.Generator)
+        assert np.array_equal(
+            gen.standard_normal(50), clone.standard_normal(50)
+        )
+
+    def test_state_helpers(self):
+        gen = np.random.default_rng(9)
+        gen.integers(0, 100, size=11)
+        clone = rng_from_state(rng_state(gen))
+        assert clone.bit_generator.state == gen.bit_generator.state
+
+    def test_bad_bit_generator_name_rejected(self):
+        state = rng_state(np.random.default_rng(0))
+        state["bit_generator"] = "os.system"
+        with pytest.raises((ValueError, AttributeError, TypeError)):
+            rng_from_state(state)
+
+
+class TestContainers:
+    def test_nested_structures(self):
+        obj = {
+            "arrays": [np.arange(3), {"inner": np.float64(0.5)}],
+            "rng": np.random.default_rng(4),
+            "plain": [1, "x", None],
+        }
+        out = roundtrip(obj)
+        assert np.array_equal(out["arrays"][0], np.arange(3))
+        assert out["arrays"][1]["inner"] == np.float64(0.5)
+        assert isinstance(out["rng"], np.random.Generator)
+        assert out["plain"] == [1, "x", None]
+
+    def test_reserved_marker_key_rejected(self):
+        with pytest.raises(ValueError):
+            encode_json_safe({"__npz.ndarray__": "spoof"})
+
+
+class TestSnapshotMetadata:
+    def test_rng_and_arrays_in_snapshot_meta(self, tmp_path):
+        system = ParticleSystem(
+            mass=np.ones(4) / 4,
+            pos=np.random.default_rng(0).standard_normal((4, 3)),
+            vel=np.zeros((4, 3)),
+        )
+        gen = np.random.default_rng(77)
+        gen.standard_normal(13)
+        path = tmp_path / "s.npz"
+        write_snapshot(
+            path, system, 0.5,
+            metadata={"rng": gen, "dt_max": np.float64(0.0625)},
+        )
+        _, meta = read_snapshot(path)
+        assert meta["rng"].bit_generator.state == gen.bit_generator.state
+        assert meta["dt_max"] == np.float64(0.0625)
