@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Any
 
 from ..parallel.ledger import COMM_LEDGER_SCHEMA
+from ..telemetry import SignatureError, validate_signature_summary
 
 #: Bump on breaking layout changes; the comparator refuses mismatches.
 SCHEMA = "repro.bench/1"
@@ -105,6 +106,14 @@ def validate_artifact(obj: Any, source: str = "artifact") -> dict[str, Any]:
                     f"{source}: benchmarks[{i}] comm must carry a "
                     "'networks' list"
                 )
+        signatures = entry.get("signatures")
+        if signatures is not None:
+            try:
+                validate_signature_summary(
+                    signatures, source=f"{source}: benchmarks[{i}] signatures"
+                )
+            except SignatureError as exc:
+                raise ArtifactError(str(exc)) from exc
     return obj
 
 

@@ -26,7 +26,7 @@ from ..perfmodel.calibrate import (
     merge_calibration,
     save_calibration,
 )
-from ..telemetry import write_timeline
+from ..telemetry import SignatureError, write_timeline
 from .artifact import ArtifactError, read_artifact, write_artifact
 from .comm import capture_comm_ledger
 from .compare import (
@@ -37,6 +37,7 @@ from .compare import (
 )
 from .history import (
     DEFAULT_HISTORY_PATH,
+    DEFAULT_SHIFT_THRESHOLD,
     HistoryError,
     ingest_artifact,
     prune_history,
@@ -54,6 +55,19 @@ from .report import (
     render_profile_text,
 )
 from .runner import run_suite
+from .sampling import (
+    DEFAULT_BOOTSTRAP,
+    DEFAULT_BOOTSTRAP_SEED,
+    DEFAULT_MAX_ERROR,
+    DEFAULT_MIN_PREFIX,
+    DEFAULT_PREFIX_FRACTION,
+    DEFAULT_PROBE_WINDOWS,
+    DEFAULT_VALIDATE_REPEATS,
+    render_estimate_text,
+    sampled_estimate,
+    validate_sampling,
+    write_sample_artifact,
+)
 
 # registration side effect: populate REGISTRY with the built-in sweeps
 from . import suites as _suites  # noqa: F401
@@ -229,6 +243,74 @@ def _cmd_ledger(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sample(args: argparse.Namespace) -> int:
+    params: dict[str, Any] = {
+        "model": args.model,
+        "n": args.n,
+        "seed": args.seed,
+        "eta": args.eta,
+        "backend": args.backend,
+    }
+    if args.eps is not None:
+        params["eps"] = args.eps
+    common = dict(
+        prefix_fraction=args.prefix_fraction,
+        min_prefix=args.min_prefix,
+        n_windows=args.windows,
+        k_max=args.k_max,
+        n_bootstrap=args.bootstrap,
+        bootstrap_seed=args.bootstrap_seed,
+        timeline=args.timeline,
+    )
+    try:
+        if args.validate:
+            estimate = validate_sampling(
+                params, args.t_end, repeats=args.repeats, **common
+            )
+        else:
+            estimate = sampled_estimate(params, args.t_end, **common)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(estimate.as_artifact(), indent=2, sort_keys=True))
+    else:
+        print(render_estimate_text(estimate))
+    if args.out:
+        path = write_sample_artifact(estimate.as_artifact(), args.out)
+        print(f"wrote {path}", file=sys.stderr)
+    if args.timeline:
+        print(
+            f"wrote {args.timeline} (span film + regime lane); load in "
+            f"chrome://tracing or https://ui.perfetto.dev",
+            file=sys.stderr,
+        )
+    if args.validate:
+        v = estimate.validation or {}
+        error = v.get("median_rel_error", float("inf"))
+        fraction = v.get("simulated_fraction", 1.0)
+        if error > args.max_error:
+            print(
+                f"validation FAILED: median error {error:.2%} exceeds "
+                f"{args.max_error:.0%}",
+                file=sys.stderr,
+            )
+            return 1
+        if fraction > args.prefix_fraction + 0.05:
+            print(
+                f"validation FAILED: simulated {fraction:.1%} of blocksteps "
+                f"(budget {args.prefix_fraction:.0%})",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"validation passed: median error {error:.2%} <= "
+            f"{args.max_error:.0%} at {fraction:.1%} of blocksteps simulated",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_history(args: argparse.Namespace) -> int:
     if args.history_command == "ingest":
         appended_any = False
@@ -271,6 +353,7 @@ def _cmd_history(args: argparse.Namespace) -> int:
                 suite=args.suite,
                 env=args.env,
                 drift_threshold=args.drift_threshold,
+                shift_threshold=args.shift_threshold,
             )
         )
         return 0
@@ -393,6 +476,57 @@ def build_parser() -> argparse.ArgumentParser:
                        "as Chrome trace-event JSON")
     p_led.set_defaults(func=_cmd_ledger)
 
+    p_smp = sub.add_parser(
+        "sample",
+        help="sampled-run estimator: scout the blockstep schedule on the "
+        "cheap backend, simulate a prefix on the target backend, "
+        "extrapolate full-run wall time per regime")
+    p_smp.add_argument("--model", default="plummer",
+                       help="workload model (default plummer)")
+    p_smp.add_argument("--n", type=int, default=64)
+    p_smp.add_argument("--seed", type=int, default=13)
+    p_smp.add_argument("--t-end", type=float, default=1.0, dest="t_end")
+    p_smp.add_argument("--eta", type=float, default=0.02)
+    p_smp.add_argument("--eps", type=float, default=None,
+                       help="softening (defaults to the N-scaled law)")
+    p_smp.add_argument("--backend", default="grape",
+                       choices=("direct", "grape"),
+                       help="target backend to price (default grape)")
+    p_smp.add_argument("--prefix-fraction", type=float,
+                       default=DEFAULT_PREFIX_FRACTION,
+                       help="fraction of the scouted schedule to simulate "
+                       f"(default {DEFAULT_PREFIX_FRACTION})")
+    p_smp.add_argument("--min-prefix", type=int, default=DEFAULT_MIN_PREFIX,
+                       help="blockstep floor for the probe budget")
+    p_smp.add_argument("--windows", type=int, default=DEFAULT_PROBE_WINDOWS,
+                       help="probe windows the budget is spread over "
+                       f"(default {DEFAULT_PROBE_WINDOWS})")
+    p_smp.add_argument("--k-max", type=int, default=8,
+                       help="regime cluster cap (default 8)")
+    p_smp.add_argument("--bootstrap", type=int, default=DEFAULT_BOOTSTRAP,
+                       help="bootstrap resamples for the error bars")
+    p_smp.add_argument("--bootstrap-seed", type=int,
+                       default=DEFAULT_BOOTSTRAP_SEED)
+    p_smp.add_argument("--validate", action="store_true",
+                       help="also run the workload exhaustively and gate on "
+                       "the median estimator error (CI mode)")
+    p_smp.add_argument("--repeats", type=int,
+                       default=DEFAULT_VALIDATE_REPEATS,
+                       help="exhaustive repeats under --validate "
+                       f"(default {DEFAULT_VALIDATE_REPEATS}; median error "
+                       "is the gate)")
+    p_smp.add_argument("--max-error", type=float, default=DEFAULT_MAX_ERROR,
+                       help="median relative error that fails --validate "
+                       f"(default {DEFAULT_MAX_ERROR})")
+    p_smp.add_argument("--out", default=None, metavar="PATH",
+                       help="write the repro.phase_signature/1 sample "
+                       "artifact (SIG_*.json)")
+    p_smp.add_argument("--timeline", default=None, metavar="PATH",
+                       help="write the probe's span film + regime lane as "
+                       "Chrome trace-event JSON")
+    p_smp.add_argument("--format", choices=("text", "json"), default="text")
+    p_smp.set_defaults(func=_cmd_sample)
+
     p_rep = sub.add_parser("report", help="render an artifact")
     p_rep.add_argument("artifact")
     p_rep.add_argument("--format", choices=("text", "markdown", "json"),
@@ -444,6 +578,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="restrict to one environment fingerprint key")
     p_tab.add_argument("--drift-threshold", type=float,
                        default=DEFAULT_DRIFT_THRESHOLD)
+    p_tab.add_argument("--shift-threshold", type=float,
+                       default=DEFAULT_SHIFT_THRESHOLD,
+                       help="regime-mix total-variation distance between "
+                       "consecutive ingests that raises the SHIFT flag "
+                       "(default 0.25)")
     p_tab.add_argument("--format", choices=("text", "markdown"),
                        default="text")
     _hist_common(p_tab)
@@ -487,7 +626,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (ArtifactError, HistoryError, CalibrationError) as exc:
+    except (ArtifactError, HistoryError, CalibrationError, SignatureError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except BrokenPipeError:

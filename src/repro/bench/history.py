@@ -51,6 +51,12 @@ DEFAULT_HISTORY_PATH = Path("benchmarks") / "history.jsonl"
 #: on shared runners scatter ~30%, so the flag is deliberately wider.
 DEFAULT_DRIFT_THRESHOLD = 0.5
 
+#: Total-variation distance between consecutive regime mixes (the
+#: share of blocksteps each regime claims) that counts as a regime-mix
+#: shift.  0.25 means a quarter of the run's blocksteps moved to a
+#: different regime — the workload changed character, not just speed.
+DEFAULT_SHIFT_THRESHOLD = 0.25
+
 #: Environment-fingerprint fields that define "the same machine".
 _ENV_KEY_FIELDS = ("python", "implementation", "platform", "machine",
                    "cpu_count", "numpy")
@@ -84,6 +90,27 @@ def artifact_row(artifact: dict[str, Any]) -> dict[str, Any]:
         ratio = entry.get("derived", {}).get("model_over_measured")
         if isinstance(ratio, (int, float)) and not isinstance(ratio, bool):
             bench["model_over_measured"] = float(ratio)
+        signatures = entry.get("signatures")
+        if isinstance(signatures, dict) and signatures.get("regimes"):
+            # phase-observatory distillation: enough to render the
+            # per-regime columns and compare the mix across ingests.
+            # The mix is keyed by the regime's log2 block-size bucket,
+            # not its id — ids are assigned in discovery order, so a
+            # reordered schedule would relabel identical regimes and
+            # read as a spurious shift.
+            mix: dict[str, int] = {}
+            for reg in signatures["regimes"]:
+                mean = float(reg.get("mean_block_size", 0.0))
+                bucket = int(mean).bit_length() - 1 if mean >= 1.0 else -1
+                key = f"b{bucket}"
+                mix[key] = mix.get(key, 0) + int(reg["count"])
+            bench["regimes"] = {
+                "n": int(signatures.get("n_regimes",
+                                        len(signatures["regimes"]))),
+                "dominant": signatures.get("dominant_regime"),
+                "dominant_share": float(signatures.get("dominant_share", 0.0)),
+                "mix": mix,
+            }
         benchmarks[entry["name"]] = bench
     row = {
         "schema": HISTORY_SCHEMA,
@@ -259,6 +286,24 @@ def prune_history(
 # -- trajectory -------------------------------------------------------------
 
 
+def regime_mix_shift(
+    prev: dict[str, int], current: dict[str, int]
+) -> float:
+    """Total-variation distance between two regime mixes in [0, 1].
+
+    Mixes are blockstep counts per log2 block-size bucket (the
+    label-stable regime fingerprint :func:`artifact_row` distils from
+    a signature summary); 0.0 means identical share distributions, 1.0
+    means disjoint bucket sets.
+    """
+    p_total = sum(prev.values()) or 1
+    c_total = sum(current.values()) or 1
+    return 0.5 * sum(
+        abs(prev.get(r, 0) / p_total - current.get(r, 0) / c_total)
+        for r in set(prev) | set(current)
+    )
+
+
 @dataclass(frozen=True)
 class TrajectoryPoint:
     """One benchmark's state in one history row, with deltas."""
@@ -274,9 +319,15 @@ class TrajectoryPoint:
     delta: float | None           # (median / previous median) - 1
     model_over_measured: float | None
     model_drift: float | None     # (ratio / previous ratio) - 1
+    regime_count: int | None = None
+    dominant_share: float | None = None
+    regime_shift: float | None = None   # TV distance vs previous mix
 
     def drifted(self, threshold: float = DEFAULT_DRIFT_THRESHOLD) -> bool:
         return self.model_drift is not None and abs(self.model_drift) > threshold
+
+    def shifted(self, threshold: float = DEFAULT_SHIFT_THRESHOLD) -> bool:
+        return self.regime_shift is not None and self.regime_shift > threshold
 
 
 def trajectory(
@@ -293,6 +344,7 @@ def trajectory(
     series: dict[str, list[TrajectoryPoint]] = {}
     last_median: dict[tuple[str, str], float] = {}
     last_ratio: dict[tuple[str, str], float] = {}
+    last_mix: dict[tuple[str, str], dict[str, int]] = {}
     for row in rows:
         if suite is not None and row.get("suite") != suite:
             continue
@@ -308,6 +360,12 @@ def trajectory(
             drift = None
             if ratio is not None and prev_ratio:
                 drift = ratio / prev_ratio - 1.0
+            regimes = bench.get("regimes") or {}
+            mix = regimes.get("mix") or None
+            prev_mix = last_mix.get(key)
+            shift = None
+            if mix and prev_mix:
+                shift = regime_mix_shift(prev_mix, mix)
             series.setdefault(name, []).append(
                 TrajectoryPoint(
                     benchmark=name,
@@ -321,11 +379,18 @@ def trajectory(
                     delta=delta,
                     model_over_measured=ratio,
                     model_drift=drift,
+                    regime_count=(
+                        int(regimes["n"]) if "n" in regimes else None
+                    ),
+                    dominant_share=regimes.get("dominant_share"),
+                    regime_shift=shift,
                 )
             )
             last_median[key] = median
             if ratio is not None:
                 last_ratio[key] = ratio
+            if mix:
+                last_mix[key] = mix
     return series
 
 
@@ -334,14 +399,18 @@ def _sha(rev: str | None) -> str:
 
 
 def _traj_rows(
-    series: dict[str, list[TrajectoryPoint]], drift_threshold: float
+    series: dict[str, list[TrajectoryPoint]],
+    drift_threshold: float,
+    shift_threshold: float = DEFAULT_SHIFT_THRESHOLD,
 ) -> list[tuple]:
     rows: list[tuple] = []
     for name in sorted(series):
         for i, pt in enumerate(series[name]):
-            flag = ""
+            flags = []
             if pt.drifted(drift_threshold):
-                flag = "DRIFT"
+                flags.append("DRIFT")
+            if pt.shifted(shift_threshold):
+                flags.append("SHIFT")
             rows.append(
                 (
                     name if i == 0 else "",
@@ -353,14 +422,20 @@ def _traj_rows(
                     f"{pt.model_over_measured:.3g}"
                     if pt.model_over_measured is not None
                     else "-",
-                    flag,
+                    str(pt.regime_count)
+                    if pt.regime_count is not None
+                    else "-",
+                    f"{pt.dominant_share * 100.0:.0f}%"
+                    if pt.dominant_share is not None
+                    else "-",
+                    " ".join(flags),
                 )
             )
     return rows
 
 
 _TRAJ_HEADERS = ("benchmark", "#", "revision", "tag", "median [ms]",
-                 "delta", "model/meas", "drift")
+                 "delta", "model/meas", "regimes", "dom", "flags")
 
 
 def render_history_table(
@@ -369,14 +444,18 @@ def render_history_table(
     suite: str | None = None,
     env: str | None = None,
     drift_threshold: float = DEFAULT_DRIFT_THRESHOLD,
+    shift_threshold: float = DEFAULT_SHIFT_THRESHOLD,
 ) -> str:
     """The per-suite trajectory table (text or markdown).
 
     One block per suite present in the history; each benchmark's points
     appear in ingest order with the delta against its previous
-    measurement on the same machine and the model-vs-measured drift
-    flag — the paper's Table 1 presentation for this repo's own tuning
-    arc.
+    measurement on the same machine, the model-vs-measured DRIFT flag,
+    and — where artifacts carried phase signatures — the regime count,
+    dominant-regime share, and a SHIFT flag when the regime mix moved
+    by more than ``shift_threshold`` (total variation) since the
+    previous ingest.  The paper's Table 1 presentation for this repo's
+    own tuning arc.
     """
     rows = list(rows)
     suites = [suite] if suite is not None else sorted(
@@ -387,7 +466,7 @@ def render_history_table(
         series = trajectory(rows, suite=s, env=env)
         if not series:
             continue
-        table_rows = _traj_rows(series, drift_threshold)
+        table_rows = _traj_rows(series, drift_threshold, shift_threshold)
         n_points = sum(len(v) for v in series.values())
         if fmt == "markdown":
             head = [f"### Trajectory — suite `{s}` ({n_points} points)", ""]
@@ -440,15 +519,24 @@ def render_history_plot(
     for name in sorted(series):
         points = series[name]
         medians = [p.median_s * 1.0e3 for p in points]
+        # regime columns only where artifacts carried phase signatures
+        counts = [p.regime_count for p in points if p.regime_count is not None]
+        shares = [
+            p.dominant_share for p in points if p.dominant_share is not None
+        ]
         out_rows.append(
             (
                 name,
                 len(medians),
                 f"{min(medians):.2f}..{max(medians):.2f}",
                 _sparkline(medians, width),
+                str(counts[-1]) if counts else "-",
+                _sparkline([s * 100.0 for s in shares], width)
+                if shares else "-",
             )
         )
     return format_table(
-        ("benchmark", "points", "median range [ms]", "trend (old -> new)"),
+        ("benchmark", "points", "median range [ms]", "trend (old -> new)",
+         "regimes", "dom share (old -> new)"),
         out_rows,
     )

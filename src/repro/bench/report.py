@@ -97,6 +97,63 @@ def _histogram_rows(entry: dict[str, Any]) -> list[tuple]:
 _HISTOGRAM_HEADERS = ("metric", "n", "mean", "p50", "p90", "p99", "max")
 
 
+_SHARE_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def _share_bar(share: float, width: int = 8) -> str:
+    """Tiny bar of a [0, 1] share (one glyph per 1/width of the range)."""
+    share = min(max(share, 0.0), 1.0)
+    full = int(share * width)
+    partial = share * width - full
+    bar = "█" * full
+    if partial > 0 and full < width:
+        bar += _SHARE_SPARK[min(int(partial * len(_SHARE_SPARK)), 7)]
+    return bar or "▁"
+
+
+def _regime_rows(entry: dict[str, Any]) -> list[tuple]:
+    """Phase-observatory rows: one per regime, dominant first."""
+    summary = entry.get("signatures")
+    if not summary:
+        return []
+    rows = []
+    for reg in sorted(
+        summary.get("regimes", []), key=lambda r: -r.get("count", 0)
+    ):
+        share = reg.get("share", 0.0)
+        rows.append(
+            (
+                reg.get("regime"),
+                reg.get("count", 0),
+                f"{share:.1%}",
+                _share_bar(share),
+                f"{reg.get('mean_block_size', 0.0):.1f}",
+                f"{reg.get('mean_wall_us', 0.0):.0f}",
+            )
+        )
+    return rows
+
+
+_REGIME_HEADERS = (
+    "regime", "blocksteps", "share", "bar", "mean block", "us/blockstep"
+)
+
+
+def _signature_lines(entry: dict[str, Any], table: str) -> list[str]:
+    summary = entry.get("signatures")
+    if not summary:
+        return []
+    return [
+        "",
+        f"regimes: {summary.get('n_regimes', 0)} over "
+        f"{summary.get('count', 0)} blocksteps, "
+        f"{summary.get('changes', 0)} change(s); "
+        f"lane {summary.get('lane', '')}",
+        "",
+        table,
+    ]
+
+
 def render_artifact_text(artifact: dict[str, Any]) -> str:
     """Terminal report: one section per benchmark."""
     env = artifact["environment"]
@@ -132,6 +189,11 @@ def render_artifact_text(artifact: dict[str, Any]) -> str:
         hist_rows = _histogram_rows(entry)
         if hist_rows:
             lines += ["", format_table(_HISTOGRAM_HEADERS, hist_rows)]
+        regime_rows = _regime_rows(entry)
+        if regime_rows:
+            lines += _signature_lines(
+                entry, format_table(_REGIME_HEADERS, regime_rows)
+            )
     return "\n".join(lines)
 
 
@@ -198,6 +260,11 @@ def render_artifact_markdown(artifact: dict[str, Any]) -> str:
                     [(f"`{r[0]}`", *r[1:]) for r in hist_rows],
                 ),
             ]
+        regime_rows = _regime_rows(entry)
+        if regime_rows:
+            lines += _signature_lines(
+                entry, _md_table(list(_REGIME_HEADERS), regime_rows)
+            )
     return "\n".join(lines)
 
 

@@ -16,7 +16,15 @@ import time
 from typing import Any
 
 from ..parallel.ledger import merge_comm_summaries
-from ..telemetry import InMemorySink, PhaseAggregator, PHASES, Tracer, set_tracer
+from ..telemetry import (
+    InMemorySink,
+    PhaseAggregator,
+    PHASES,
+    RegimeTracker,
+    Tracer,
+    set_tracer,
+    signatures_from_events,
+)
 from .env import environment_fingerprint
 from .artifact import SCHEMA, validate_artifact
 from .registry import REGISTRY, Benchmark, BenchContext, BenchmarkRegistry
@@ -51,6 +59,15 @@ def _run_trial(bench: Benchmark, params: dict[str, Any]) -> dict[str, Any]:
         out["comm"] = merge_comm_summaries(
             net.ledger.summary() for net in ctx.networks
         )
+    # phase observatory: fold the retained span events back into
+    # per-blockstep signatures and cluster them into regimes; only
+    # benchmarks that actually step an integrator produce any
+    sigs = signatures_from_events(sink.events)
+    if sigs:
+        regimes = RegimeTracker()
+        for sig in sigs:
+            regimes.update(sig)
+        out["signatures"] = regimes.summary()
     return out
 
 
@@ -126,6 +143,10 @@ def run_benchmark(
     # last trial's harvest represents them all
     if "comm" in trials[-1]:
         entry["comm"] = trials[-1]["comm"]
+    # regime structure (counts, shares, lane) is schedule-driven and
+    # the schedule is seeded, so the last trial stands in for all
+    if "signatures" in trials[-1]:
+        entry["signatures"] = trials[-1]["signatures"]
     return entry
 
 

@@ -232,7 +232,17 @@ class BlockTimestepIntegrator:
         tracer = self.tracer
         t_block, block = self.scheduler.next_block()
 
-        with tracer.span("blockstep", phase=T_HOST, n_block=block.size):
+        # j-memory counters before the blockstep: their deltas go on the
+        # blockstep span so the phase observatory can fingerprint cache
+        # behaviour per blockstep (emulator backends only).
+        backend_stats = getattr(self.backend, "stats", None) if tracer.enabled else None
+        if backend_stats is not None:
+            jmem0 = getattr(backend_stats, "jmem_loads", 0)
+            elided0 = getattr(backend_stats, "jmem_loads_elided", 0)
+
+        with tracer.span(
+            "blockstep", phase=T_HOST, n_block=block.size, n=s.n, t=t_block
+        ) as bs_span:
             # Predict everything to the block time.  Hardware analogue:
             # the predictor pipelines extrapolate the j-memory contents;
             # the host predicts the i-particles it is about to correct.
@@ -272,6 +282,14 @@ class BlockTimestepIntegrator:
             with tracer.span("schedule"):
                 s.dt[block] = dt_new
                 self.scheduler.update(block, t_block, dt_new)
+
+            if backend_stats is not None:
+                bs_span.set(
+                    jmem_loads=int(getattr(backend_stats, "jmem_loads", 0) - jmem0),
+                    jmem_elided=int(
+                        getattr(backend_stats, "jmem_loads_elided", 0) - elided0
+                    ),
+                )
 
         n_b = block.size
         self.t = t_block

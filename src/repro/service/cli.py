@@ -113,6 +113,13 @@ def _cmd_status(args: argparse.Namespace) -> int:
             line += f" blocksteps={st['blocksteps']}"
         if "wall_s" in st:
             line += f" wall={st['wall_s']:.1f}s"
+        if "regime" in st:
+            line += (
+                f" regime={st['regime']}"
+                f" ({st.get('n_regimes', 0)} seen,"
+                f" dominant {st.get('dominant_regime')}"
+                f" at {st.get('dominant_share', 0.0):.0%})"
+            )
         line += (
             f" checkpoints={len(st['checkpoints'])}"
             f" records={st['archive_records']}"

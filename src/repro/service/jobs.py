@@ -289,7 +289,13 @@ def read_state(paths: JobPaths) -> dict[str, Any]:
 
 def build_system(params: dict[str, Any]) -> ParticleSystem:
     """Sample the run job's initial model (seeded, reproducible)."""
-    model = MODELS[params.get("model", "plummer")]
+    name = params.get("model", "plummer")
+    try:
+        model = MODELS[name]
+    except KeyError:
+        raise JobError(
+            f"unknown model {name!r} (have {', '.join(sorted(MODELS))})"
+        ) from None
     kwargs = dict(params.get("model_args", {}))
     return model(params["n"], seed=params.get("seed", 1), **kwargs)
 

@@ -13,6 +13,11 @@ afterwards:
     Cumulative telemetry phase totals (the paper's
     T_host/T_pipe/T_comm/T_barrier taxonomy) forwarded from the
     streaming phase sink.
+``signature``
+    Phase-observatory snapshot: the current blockstep regime, regime
+    counts/shares and the compact regime lane, plus the full
+    ``repro.phase_signature/1`` summary document (nested under
+    ``summary``; the flat scalars exist so ``tail`` shows them).
 ``checkpoint``
     A durable checkpoint hit disk (path, blockstep, t).
 ``discontinuity``
@@ -43,6 +48,7 @@ SNAPSHOT_RECORD_SCHEMA = "repro.snapshot_record/1"
 
 KIND_STATE = "state"
 KIND_PHASES = "phases"
+KIND_SIGNATURE = "signature"
 KIND_CHECKPOINT = "checkpoint"
 KIND_DISCONTINUITY = "discontinuity"
 KIND_JOB = "job"
@@ -53,6 +59,7 @@ KIND_BENCH_ARTIFACT = "bench_artifact"
 RECORD_KINDS = (
     KIND_STATE,
     KIND_PHASES,
+    KIND_SIGNATURE,
     KIND_CHECKPOINT,
     KIND_DISCONTINUITY,
     KIND_JOB,

@@ -45,7 +45,13 @@ from ..io.checkpoint import (
     write_checkpoint,
 )
 from ..io.snapshot import write_snapshot
-from ..telemetry import StreamingPhaseSink, Tracer, set_tracer
+from ..telemetry import (
+    RegimeTracker,
+    SignatureRecorder,
+    StreamingPhaseSink,
+    Tracer,
+    set_tracer,
+)
 from .bus import SnapshotBus
 from .consumers import ArchiveWriter, BenchHistoryIngester, ProgressReporter
 from .jobs import (
@@ -65,6 +71,7 @@ from .records import (
     KIND_DISCONTINUITY,
     KIND_JOB,
     KIND_PHASES,
+    KIND_SIGNATURE,
     KIND_STATE,
 )
 
@@ -167,7 +174,12 @@ class Supervisor:
     def _execute_run(self, spec: JobSpec, bus: SnapshotBus, resume: bool) -> str:
         params = spec.params
         phase_sink = StreamingPhaseSink()
-        tracer = Tracer(enabled=True, sinks=[phase_sink])
+        # phase observatory: O(1)-per-blockstep signature capture and
+        # streaming regime clustering (keep=False — a week-long run must
+        # not accumulate per-blockstep state)
+        regimes = RegimeTracker()
+        sig_recorder = SignatureRecorder(callback=regimes.update, keep=False)
+        tracer = Tracer(enabled=True, sinks=[phase_sink, sig_recorder])
         backend = build_backend(params)
 
         if resume:
@@ -234,10 +246,14 @@ class Supervisor:
                 blockstep=integ.stats.blocksteps, reason=reason,
             )
             bus.emit(KIND_PHASES, t=integ.t, **phase_sink.snapshot())
+            if regimes.count:
+                bus.emit(KIND_SIGNATURE, t=integ.t,
+                         **_signature_payload(regimes))
             write_state(
                 self.paths, "running", name=spec.name, kind=spec.kind,
                 t=integ.t, blocksteps=integ.stats.blocksteps,
                 wall_s=total_wall(), last_checkpoint=str(path),
+                **_regime_state(regimes),
             )
             return path
 
@@ -292,6 +308,7 @@ class Supervisor:
                 t=integ.t, blocksteps=integ.stats.blocksteps,
                 wall_s=total_wall(), reason=interrupted,
                 last_checkpoint=str(path),
+                **_regime_state(regimes),
             )
             return "interrupted"
 
@@ -311,6 +328,7 @@ class Supervisor:
             t=integ.t, blocksteps=integ.stats.blocksteps,
             wall_s=total_wall(), last_checkpoint=str(path),
             final_snapshot=str(self.paths.final_snapshot),
+            **_regime_state(regimes),
         )
         return "completed"
 
@@ -408,6 +426,37 @@ class Supervisor:
             "checkpoints": checkpoints,
             "archive_records": _count_lines(self.paths.archive),
         }
+
+
+def _signature_payload(regimes: "RegimeTracker") -> dict[str, Any]:
+    """Bus payload of the phase observatory's current view: flat
+    scalars (so ``tail``'s text mode shows them) plus the nested
+    ``repro.phase_signature/1`` summary document."""
+    dominant, share = regimes.dominant_regime()
+    return {
+        "regime": regimes.current,
+        "n_regimes": regimes.n_regimes,
+        "dominant_regime": dominant,
+        "dominant_share": share,
+        "blocksteps": regimes.count,
+        "changes": len(regimes.changes),
+        "lane": regimes.lane(),
+        "summary": regimes.summary(),
+    }
+
+
+def _regime_state(regimes: "RegimeTracker") -> dict[str, Any]:
+    """The ``state.json`` face of the observatory (``status`` shows it)."""
+    if not regimes.count:
+        return {}
+    dominant, share = regimes.dominant_regime()
+    return {
+        "regime": regimes.current,
+        "n_regimes": regimes.n_regimes,
+        "dominant_regime": dominant,
+        "dominant_share": share,
+        "regime_lane": regimes.lane(max_runs=8),
+    }
 
 
 def _count_lines(path: Path) -> int:

@@ -63,6 +63,23 @@ from .sinks import (
     SummarySink,
     read_spans,
 )
+from .signatures import (
+    N_BUCKETS,
+    REGIME_PID,
+    SCHEDULE_FEATURES,
+    SIGNATURE_SCHEMA,
+    PhaseSignature,
+    RegimeChange,
+    RegimeTracker,
+    SignatureError,
+    SignatureRecorder,
+    StreamingKMeans,
+    normalise_shares,
+    regime_trace_events,
+    schedule_signature,
+    signatures_from_events,
+    validate_signature_summary,
+)
 from .sampler import (
     SOURCE_FRAMES,
     SOURCE_NONE,
@@ -110,6 +127,21 @@ __all__ = [
     "SummarySink",
     "StreamingPhaseSink",
     "read_spans",
+    "PhaseSignature",
+    "SignatureRecorder",
+    "SignatureError",
+    "StreamingKMeans",
+    "RegimeTracker",
+    "RegimeChange",
+    "SIGNATURE_SCHEMA",
+    "SCHEDULE_FEATURES",
+    "N_BUCKETS",
+    "REGIME_PID",
+    "normalise_shares",
+    "regime_trace_events",
+    "schedule_signature",
+    "signatures_from_events",
+    "validate_signature_summary",
     "render_breakdown",
     "render_metrics",
     "breakdown_json",

@@ -243,3 +243,60 @@ class TestCommCLI:
     def test_history_prune_without_criteria_is_exit_2(self, tmp_path, capsys):
         assert main(["history", "prune",
                      "--history", str(tmp_path / "h.jsonl")]) == 2
+
+
+class TestSampleCLI:
+    """``bench sample``: the sampled-run estimator's CLI surface.
+
+    Structural acceptance only — the hard 5%-of-wall validation pin
+    runs in CI (``--validate``) where the grape backend's timing is
+    exercised at the pinned configuration.
+    """
+
+    @pytest.fixture(scope="class")
+    def sample_run(self, tmp_path_factory):
+        tmp_path = tmp_path_factory.mktemp("sample")
+        out_path = tmp_path / "SIG_sample.json"
+        timeline = tmp_path / "trace_regimes.json"
+        code = main([
+            "sample", "--model", "plummer", "--n", "16", "--seed", "3",
+            "--t-end", "0.25", "--backend", "direct", "--min-prefix", "8",
+            "--bootstrap", "50", "--format", "json",
+            "--out", str(out_path), "--timeline", str(timeline),
+        ])
+        return code, out_path, timeline
+
+    def test_exit_code_and_artifact(self, sample_run):
+        code, out_path, _ = sample_run
+        assert code == 0
+        from repro.bench.sampling import read_sample_artifact
+        art = read_sample_artifact(out_path)   # schema-validates
+        assert art["kind"] == "sampled_run"
+        assert art["regimes"]
+        # the acceptance budget: at most a quarter of the schedule
+        # simulated (plus the integer-rounding slack the gate allows)
+        assert art["simulated_fraction"] <= 0.25 + 0.05
+        assert art["ci_low_us"] <= art["estimated_total_us"] <= art["ci_high_us"]
+
+    def test_regime_timeline_lane(self, sample_run):
+        _, _, timeline = sample_run
+        from repro.telemetry.timeline import validate_timeline
+        doc = validate_timeline(json.loads(timeline.read_text()))
+        lanes = [e for e in doc["traceEvents"]
+                 if e.get("cat") == "regime" and e.get("ph") == "X"]
+        assert lanes, "timeline carries no regime lane"
+        assert all("regime" in e["args"] for e in lanes)
+
+    def test_validate_flag_too_strict_fails(self, tmp_path, capsys):
+        """An impossible error bound must trip the gate (exit 1)."""
+        code = main([
+            "sample", "--model", "plummer", "--n", "16", "--seed", "3",
+            "--t-end", "0.25", "--backend", "direct", "--min-prefix", "8",
+            "--bootstrap", "50", "--repeats", "1", "--validate",
+            "--max-error", "0.0",
+        ])
+        assert code == 1
+
+    def test_unknown_model_is_operational_error(self, capsys):
+        code = main(["sample", "--model", "nope", "--n", "16"])
+        assert code == 2

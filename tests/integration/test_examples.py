@@ -84,6 +84,12 @@ class TestExamplesRun:
         assert "bit-identical after resume: True" in out
         assert "discontinuity records in the archive: 1" in out
 
+    def test_phase_observatory_demo(self, capsys):
+        out = run_example("phase_observatory_demo.py", "32", capsys=capsys)
+        assert "regimes discovered" in out
+        assert "regime lane" in out
+        assert "sampled-run estimate" in out
+
     @pytest.mark.parametrize(
         "name,args",
         [("star_cluster.py", ("64",)), ("planetesimal_accretion.py", ("40",))],

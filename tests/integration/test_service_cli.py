@@ -201,3 +201,42 @@ class TestSweepJob:
         assert len(rows) == 1 and rows[0]["notes"] == "service smoke sweep"
         records = read_archive(jobdir / "bus.jsonl")
         assert any(r.kind == "bench_artifact" for r in records)
+
+
+class TestPhaseObservatory:
+    """The run job streams regime signatures through the bus."""
+
+    def test_signature_records_on_bus(self, reference_job):
+        records = [r for r in read_archive(reference_job / "bus.jsonl")
+                   if r.kind == "signature"]
+        assert records, "run emitted no signature records"
+        from repro.telemetry import validate_signature_summary
+        for rec in records:
+            payload = rec.payload
+            assert payload["blocksteps"] > 0
+            assert payload["n_regimes"] >= 1
+            assert 0.0 < payload["dominant_share"] <= 1.0
+            assert isinstance(payload["lane"], str) and payload["lane"]
+            validate_signature_summary(payload["summary"])
+        # monotone: later snapshots have seen at least as many blocksteps
+        counts = [r.payload["blocksteps"] for r in records]
+        assert counts == sorted(counts)
+
+    def test_state_carries_regime(self, reference_job):
+        state = json.loads((reference_job / "state.json").read_text())
+        assert state["n_regimes"] >= 1
+        assert "regime" in state and "regime_lane" in state
+        assert 0.0 < state["dominant_share"] <= 1.0
+
+    def test_status_line_shows_regime(self, reference_job, capsys):
+        assert main(["status", str(reference_job)]) == 0
+        line = capsys.readouterr().out
+        assert "regime=" in line
+        assert "dominant" in line
+
+    def test_tail_signature_records(self, reference_job, capsys):
+        assert main(["tail", str(reference_job), "-n", "3",
+                     "--kind", "signature"]) == 0
+        out = capsys.readouterr().out
+        assert "signature" in out
+        assert "dominant_share=" in out

@@ -1,0 +1,112 @@
+"""Property: the signature *schedule* is an invariant of the run.
+
+A blockstep's schedule vector (active fraction + block-size bucket)
+is determined by the block timestep scheduler alone, so it must be
+bit-identical whichever emulator datapath computed the forces
+(batched vs faithful) and whether or not the run was killed and
+resumed from a checkpoint — otherwise regime clustering would see
+phantom regime changes at backend swaps or resume points.  This
+extends the kill-point harness of test_prop_checkpoint_resume to the
+phase observatory.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.individual import BlockTimestepIntegrator
+from repro.hardware import Grape6Emulator
+from repro.io.checkpoint import (
+    read_checkpoint,
+    restore_integrator,
+    write_checkpoint,
+)
+from repro.models import plummer_model
+from repro.telemetry import SignatureRecorder, Tracer
+
+EPS2 = 1.0 / 4096.0
+ETA = 0.02
+
+
+def instrumented(n, seed, backend_mode=None):
+    backend = (
+        None if backend_mode is None
+        else Grape6Emulator(EPS2, emulation_mode=backend_mode)
+    )
+    recorder = SignatureRecorder()
+    integ = BlockTimestepIntegrator(
+        plummer_model(n, seed=seed), EPS2, eta=ETA, backend=backend,
+        tracer=Tracer(enabled=True, sinks=[recorder]),
+    )
+    return integ, recorder
+
+
+def schedule_matrix(signatures):
+    return np.array([sig.schedule_vector() for sig in signatures])
+
+
+class TestScheduleVectorBackendIdentity:
+    def test_batched_vs_faithful_bit_identical(self):
+        """The emulator datapath must not leak into the schedule."""
+        matrices = {}
+        for mode in ("batched", "faithful"):
+            integ, rec = instrumented(24, seed=11, backend_mode=mode)
+            for _ in range(40):
+                integ.step()
+            matrices[mode] = schedule_matrix(rec.signatures)
+        np.testing.assert_array_equal(
+            matrices["batched"], matrices["faithful"]
+        )
+
+    def test_block_sizes_bit_identical(self):
+        sizes = {}
+        for mode in ("batched", "faithful"):
+            integ, rec = instrumented(16, seed=5, backend_mode=mode)
+            for _ in range(30):
+                integ.step()
+            sizes[mode] = [s.block_size for s in rec.signatures]
+        assert sizes["batched"] == sizes["faithful"]
+
+
+class TestScheduleVectorResumeInvariance:
+    def run_killed(self, tmp_path, n, seed, kill_at, total, mode=None):
+        """Reference schedule matrix, and the killed+resumed one."""
+        reference, ref_rec = instrumented(n, seed, mode)
+        for _ in range(total):
+            reference.step()
+
+        victim, victim_rec = instrumented(n, seed, mode)
+        for _ in range(kill_at):
+            victim.step()
+        path = tmp_path / "kill.npz"
+        write_checkpoint(path, victim)
+        del victim
+
+        backend = (
+            None if mode is None else Grape6Emulator(EPS2, emulation_mode=mode)
+        )
+        resumed_rec = SignatureRecorder()
+        resumed = restore_integrator(
+            read_checkpoint(path), backend=backend,
+            tracer=Tracer(enabled=True, sinks=[resumed_rec]),
+        )
+        for _ in range(total - kill_at):
+            resumed.step()
+        stitched = victim_rec.signatures + resumed_rec.signatures
+        return schedule_matrix(ref_rec.signatures), schedule_matrix(stitched)
+
+    @settings(max_examples=6, deadline=None)
+    @given(kill_at=st.integers(min_value=1, max_value=23))
+    def test_random_kill_point_direct(self, tmp_path_factory, kill_at):
+        tmp_path = tmp_path_factory.mktemp("sig-ckpt")
+        ref, stitched = self.run_killed(
+            tmp_path, n=24, seed=42, kill_at=kill_at, total=24
+        )
+        np.testing.assert_array_equal(ref, stitched)
+
+    def test_emulator_modes(self, tmp_path):
+        for mode in ("batched", "faithful"):
+            ref, stitched = self.run_killed(
+                tmp_path, n=16, seed=7, kill_at=6, total=14, mode=mode
+            )
+            np.testing.assert_array_equal(ref, stitched)

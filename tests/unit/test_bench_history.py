@@ -300,3 +300,90 @@ class TestRendering:
     def test_plot_benchmark_filter(self, rows):
         text = render_history_plot(rows, benchmarks=["m"])
         assert " m " in text and " k " not in text
+
+
+# -- phase-observatory columns ----------------------------------------------
+
+
+def regime_summary(sizes):
+    """A real RegimeTracker summary over a synthetic block schedule."""
+    from repro.telemetry import PHASES, PhaseSignature, RegimeTracker
+
+    tracker = RegimeTracker(hold=1)
+    shares = {p: 0.0 for p in PHASES}
+    shares["host"] = 1.0
+    for i, b in enumerate(sizes):
+        tracker.update(PhaseSignature(
+            blockstep=i, t=None, n=64, block_size=b,
+            wall_us=100.0 + b, shares=shares,
+        ))
+    return tracker.summary()
+
+
+def signed_artifact(medians, sizes, env=ENV_A, **kw):
+    art = make_artifact(medians, env=env, **kw)
+    for entry in art["benchmarks"]:
+        entry["signatures"] = regime_summary(sizes)
+    return art
+
+
+def ingest_signed_sequence(path, schedules):
+    for i, sizes in enumerate(schedules):
+        env = {**ENV_A, "git_revision": f"rev{i:04d}"}
+        ingest_artifact(signed_artifact({"k": 1.0}, sizes, env=env), path)
+    return read_history(path)
+
+
+class TestRegimeColumns:
+    def test_row_distils_regimes(self, tmp_path):
+        row = artifact_row(signed_artifact({"k": 1.0}, [64] * 8 + [2] * 2))
+        regimes = row["benchmarks"]["k"]["regimes"]
+        assert regimes["n"] == 2
+        assert regimes["dominant_share"] == pytest.approx(0.8)
+        # mix keyed by log2 block-size bucket, not regime id
+        assert regimes["mix"] == {"b6": 8, "b1": 2}
+
+    def test_rows_without_signatures_stay_clean(self, tmp_path):
+        row = artifact_row(make_artifact({"k": 1.0}))
+        assert "regimes" not in row["benchmarks"]["k"]
+
+    def test_shift_flag_on_mix_change(self, tmp_path):
+        rows = ingest_signed_sequence(
+            tmp_path / "h.jsonl",
+            [
+                [64] * 40 + [2] * 10,
+                [2] * 40 + [64] * 10,   # mix inverted: SHIFT
+                [2] * 40 + [64] * 10,   # stable again: no flag
+            ],
+        )
+        (points,) = trajectory(rows).values()
+        assert points[0].regime_shift is None
+        assert points[1].shifted()
+        assert points[1].regime_shift == pytest.approx(0.6)
+        assert not points[2].shifted()
+
+    def test_shift_ignores_regime_relabelling(self, tmp_path):
+        """The same mix discovered in a different order is no shift."""
+        rows = ingest_signed_sequence(
+            tmp_path / "h.jsonl",
+            [[64] * 10 + [2] * 10, [2] * 10 + [64] * 10],
+        )
+        (points,) = trajectory(rows).values()
+        assert points[1].regime_shift == pytest.approx(0.0)
+
+    def test_table_renders_regime_columns(self, tmp_path):
+        rows = ingest_signed_sequence(
+            tmp_path / "h.jsonl",
+            [[64] * 40 + [2] * 10, [2] * 40 + [64] * 10],
+        )
+        text = render_history_table(rows)
+        assert "regimes" in text and "dom" in text
+        assert "80%" in text
+        assert "SHIFT" in text
+
+    def test_plot_renders_regime_columns(self, tmp_path):
+        rows = ingest_signed_sequence(
+            tmp_path / "h.jsonl", [[64] * 8 + [2] * 2] * 2
+        )
+        text = render_history_plot(rows)
+        assert "regimes" in text and "dom share" in text

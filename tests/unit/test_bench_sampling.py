@@ -1,0 +1,210 @@
+"""Unit tests for the sampled-run estimator (repro.bench.sampling).
+
+The hard 5% wall-clock accuracy pin runs in CI (``bench sample
+--validate``) where timing is meaningful; here we pin everything
+deterministic — probe-window geometry, regime pricing against
+synthetic constant-cost signatures, bootstrap seeding, and the
+sampled-run artifact schema.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.sampling import (
+    DEFAULT_PREFIX_FRACTION,
+    SAMPLE_KIND,
+    _price_schedule,
+    probe_windows,
+    read_sample_artifact,
+    render_estimate_text,
+    sampled_estimate,
+    validate_sample_artifact,
+    write_sample_artifact,
+)
+from repro.telemetry import (
+    PHASES,
+    SIGNATURE_SCHEMA,
+    PhaseSignature,
+    RegimeTracker,
+    SignatureError,
+)
+
+
+class TestProbeWindows:
+    def test_empty_schedule_raises(self):
+        with pytest.raises(ValueError):
+            probe_windows(0, 10)
+
+    def test_budget_clamped_to_total(self):
+        windows = probe_windows(10, 100)
+        assert sum(length for _, length in windows) == 10
+
+    def test_single_window(self):
+        assert probe_windows(50, 5, n_windows=1) == [(0, 5)]
+
+    def test_coverage_and_non_overlap(self):
+        for total, budget, m in [(100, 24, 6), (37, 9, 4), (200, 50, 6),
+                                 (64, 16, 6), (1000, 250, 6)]:
+            windows = probe_windows(total, budget, n_windows=m)
+            assert sum(length for _, length in windows) == budget
+            for (s0, l0), (s1, _) in zip(windows, windows[1:]):
+                assert s1 >= s0 + l0, (total, budget, m, windows)
+            # anchored: startup region and tail both sampled
+            assert windows[0][0] == 0
+            last_start, last_len = windows[-1]
+            assert last_start + last_len == total
+
+    def test_budget_equals_total_is_contiguous(self):
+        windows = probe_windows(30, 30, n_windows=6)
+        covered = [i for s, length in windows for i in range(s, s + length)]
+        assert covered == list(range(30))
+
+    def test_windows_stay_in_range(self):
+        for s, length in probe_windows(101, 26, n_windows=6):
+            assert 0 <= s and s + length <= 101
+
+
+def _cost(block_size):
+    """Deterministic per-blockstep cost model for pricing tests."""
+    return 100.0 + 10.0 * block_size
+
+
+def _probe_sigs(sizes, n=64):
+    shares = {p: 0.0 for p in PHASES}
+    shares["host"], shares["pipe"] = 0.5, 0.5
+    return [
+        PhaseSignature(blockstep=i, t=None, n=n, block_size=b,
+                       wall_us=_cost(b), shares=shares)
+        for i, b in enumerate(sizes)
+    ]
+
+
+class TestPriceSchedule:
+    def price(self, probe_sizes, remainder_sizes, seed=1899, burn_in=0):
+        sigs = _probe_sigs(probe_sizes)
+        tracker = RegimeTracker(hold=1)
+        for sig in sigs:
+            tracker.update(sig)
+        return _price_schedule(
+            sigs, tracker, remainder_sizes, n=64, burn_in=burn_in,
+            n_bootstrap=64, bootstrap_seed=seed,
+        )
+
+    def test_constant_costs_priced_exactly(self):
+        """Two clean regimes with constant costs: the remainder must be
+        priced at exactly count * per-regime cost."""
+        point, lo, hi, regimes = self.price(
+            [1] * 20 + [64] * 20, [1] * 30 + [64] * 10
+        )
+        expected = 30 * _cost(1) + 10 * _cost(64)
+        assert point == pytest.approx(expected, rel=1e-9)
+        assert lo <= point <= hi
+        # constant per-regime samples: the bootstrap collapses
+        assert hi - lo == pytest.approx(0.0, abs=1e-6)
+
+    def test_regime_table_accounts_for_every_blockstep(self):
+        _, _, _, regimes = self.price([1] * 10 + [64] * 10, [1] * 25)
+        assert sum(r.n_projected for r in regimes) == 25
+        assert sum(r.n_observed for r in regimes) == 20
+
+    def test_bootstrap_seed_reproducible(self):
+        a = self.price([1] * 8 + [4] * 8 + [64] * 8, [4] * 40, seed=7)
+        b = self.price([1] * 8 + [4] * 8 + [64] * 8, [4] * 40, seed=7)
+        assert a[:3] == b[:3]
+
+    def test_burn_in_excluded_from_pricing(self):
+        """Early startup-priced samples must not leak into the mean."""
+        sigs = _probe_sigs([4] * 16)
+        # poison the first four samples with a 10x startup cost
+        from dataclasses import replace
+        for i in range(4):
+            sigs[i] = replace(sigs[i], wall_us=10.0 * _cost(4))
+        tracker = RegimeTracker(hold=1)
+        for sig in sigs:
+            tracker.update(sig)
+        point, _, _, _ = _price_schedule(
+            sigs, tracker, [4] * 10, n=64, burn_in=4,
+            n_bootstrap=16, bootstrap_seed=1,
+        )
+        assert point == pytest.approx(10 * _cost(4), rel=1e-9)
+
+    def test_no_probe_signatures_raises(self):
+        with pytest.raises(ValueError):
+            _price_schedule([], RegimeTracker(), [1], n=64, burn_in=0,
+                            n_bootstrap=8, bootstrap_seed=1)
+
+
+@pytest.fixture(scope="module")
+def tiny_estimate():
+    """One real estimator run, shared across artifact tests (direct
+    backend: fast, and this module only pins structure, not timing)."""
+    return sampled_estimate(
+        {"model": "plummer", "n": 16, "seed": 3, "eta": 0.02,
+         "backend": "direct"},
+        t_end=0.25,
+        min_prefix=8,  # the default floor of 32 would swallow this run
+        n_bootstrap=50,
+    )
+
+
+class TestSampledEstimate:
+    def test_budget_respected(self, tiny_estimate):
+        est = tiny_estimate
+        assert est.simulated_fraction <= DEFAULT_PREFIX_FRACTION + 0.05
+        assert est.prefix_blocksteps + est.projected_blocksteps \
+            == est.scout_blocksteps
+
+    def test_windows_cover_schedule_ends(self, tiny_estimate):
+        windows = tiny_estimate.windows
+        assert windows[0][0] == 0
+        last_start, last_len = windows[-1]
+        assert last_start + last_len == tiny_estimate.scout_blocksteps
+
+    def test_estimate_inside_ci(self, tiny_estimate):
+        est = tiny_estimate
+        assert est.ci_low_us <= est.estimated_total_us <= est.ci_high_us
+        assert est.estimated_total_us > 0.0
+
+    def test_schedule_match_high_on_same_backend(self, tiny_estimate):
+        # direct scout, direct probe: the schedule must replay
+        assert tiny_estimate.schedule_match >= 0.99
+
+    def test_artifact_round_trip(self, tiny_estimate, tmp_path):
+        art = tiny_estimate.as_artifact()
+        assert art["schema"] == SIGNATURE_SCHEMA
+        assert art["kind"] == SAMPLE_KIND
+        path = write_sample_artifact(art, tmp_path / "SIG_sample.json")
+        back = read_sample_artifact(path)
+        assert back["estimated_total_us"] == art["estimated_total_us"]
+        assert back["windows"] == art["windows"]
+
+    def test_render_text(self, tiny_estimate):
+        text = render_estimate_text(tiny_estimate)
+        assert "window" in text
+        assert "regime" in text.lower()
+
+
+class TestValidateSampleArtifact:
+    def base(self, tiny_estimate):
+        return tiny_estimate.as_artifact()
+
+    def test_rejects_foreign_schema(self, tiny_estimate):
+        art = dict(self.base(tiny_estimate), schema="nope")
+        with pytest.raises(SignatureError):
+            validate_sample_artifact(art)
+
+    def test_rejects_wrong_kind(self, tiny_estimate):
+        art = dict(self.base(tiny_estimate), kind="summary")
+        with pytest.raises(SignatureError):
+            validate_sample_artifact(art)
+
+    def test_rejects_estimate_outside_ci(self, tiny_estimate):
+        art = dict(self.base(tiny_estimate))
+        art["estimated_total_us"] = art["ci_high_us"] + 1.0
+        with pytest.raises(SignatureError):
+            validate_sample_artifact(art)
+
+    def test_rejects_empty_regimes(self, tiny_estimate):
+        art = dict(self.base(tiny_estimate), regimes=[])
+        with pytest.raises(SignatureError):
+            validate_sample_artifact(art)
