@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""The efficiency observatory, live: where the flops go.
+
+The paper's headline is an *efficiency* number — "towards 40 real
+Tflops" out of 63.9 peak (§6) — and every tuning step in it is the
+same move: find the biggest loss term, shrink it, re-measure.  This
+demo runs that accounting on a small Plummer integration:
+
+1. integrate under an always-on :class:`FlopsLedger` priced against a
+   GRAPE-6 emulator backend's introspected peak, printing the run's
+   waterfall from peak flops down to the real flops retired, with the
+   shortfall attributed to named loss buckets (pipeline idle lanes,
+   j-memory traffic, retries, host, comm, barrier);
+2. rerun the fig. 13 shape: fraction of peak vs N on the analytic
+   machine model, next to the loss-bucket prediction of eq. 10, so the
+   measured and modelled accounts can be compared term by term.
+
+Usage:  python examples/efficiency_waterfall_demo.py [N]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import BlockTimestepIntegrator, constant_softening, plummer_model, telemetry
+from repro.config import cluster_machine
+from repro.hardware import Grape6Emulator
+from repro.perfmodel import MachineModel
+
+
+def waterfall(n: int, t_end: float):
+    """Integrate with an always-on flops ledger; returns its summary."""
+    eps = constant_softening(n)
+    emu = Grape6Emulator(eps * eps)
+    ledger = telemetry.FlopsLedger(hardware=emu)
+    tracer = telemetry.Tracer(enabled=True, sinks=[ledger])
+    integ = BlockTimestepIntegrator(
+        plummer_model(n, seed=13), eps * eps, eta=0.02, backend=emu,
+        tracer=tracer,
+    )
+    integ.run(t_end)
+    return ledger.summary()
+
+
+def main(n: int = 64) -> None:
+    t_end = 0.25
+
+    print(f"# 1. measured flops waterfall (N={n}, t_end={t_end})\n")
+    doc = waterfall(n, t_end)
+    hw = doc["hardware"]
+    print(
+        f"hardware            : {hw['n_chips']} chips x "
+        f"{hw['lanes_per_chip']} lanes, "
+        f"{hw['peak_flops_per_s'] / 1e12:.2f} peak Tflops"
+    )
+    print(f"blocksteps observed : {doc['blocksteps']} ({doc['clock']} clock)")
+    print(f"peak flops afforded : {doc['peak_flops']:.4g}")
+    for bucket in telemetry.BUCKETS:
+        info = doc["buckets"][bucket]
+        if info["flops"] <= 0.0:
+            continue
+        print(f"  - {bucket:13s} : {info['flops']:.4g}  ({info['fraction']:.2%})")
+    print(
+        f"= real flops        : {doc['real_flops']:.4g}  "
+        f"({doc['fraction_of_peak']:.4%} of peak)"
+    )
+    print(
+        "\n(The identity real + sum(buckets) == peak is property-pinned:\n"
+        " every lost flop is attributed, every degenerate blockstep is\n"
+        " zeros, never NaN.)"
+    )
+
+    print("\n# 2. modelled fraction of peak vs N (fig. 13 shape)\n")
+    model = MachineModel(cluster_machine(1))
+    print(f"{'N':>8s}  {'frac of peak':>12s}  {'dominant loss':>16s}")
+    for n_model in (256, 1024, 4096, 16384, 65536):
+        buckets = model.efficiency_buckets(n_model)
+        real = buckets.pop("real")
+        top = max(buckets, key=buckets.get)
+        print(
+            f"{n_model:8d}  {real:12.2%}  {top:>12s} {buckets[top]:5.1%}"
+        )
+    print(
+        "\nEq. 10's terms map 1:1 onto the measured buckets, so the\n"
+        "bench suite ('python -m repro.bench run --suite smoke') can\n"
+        "report predicted-vs-measured loss per bucket."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 64)

@@ -48,6 +48,7 @@ from .compare import (
 )
 from .env import environment_fingerprint
 from .history import (
+    DEFAULT_EFF_DROP_THRESHOLD,
     DEFAULT_HISTORY_PATH,
     HISTORY_SCHEMA,
     HistoryError,
@@ -84,6 +85,8 @@ from .stats import TrialStats, percentile, trial_stats
 
 # importing the suites registers the built-in benchmarks
 from . import suites  # noqa: F401  (registration side effect)
+from . import efficiency  # noqa: F401  (registers efficiency_sweep)
+from .efficiency import per_regime_efficiency
 
 __all__ = [
     "SCHEMA",
@@ -107,6 +110,7 @@ __all__ = [
     "environment_fingerprint",
     "HISTORY_SCHEMA",
     "DEFAULT_HISTORY_PATH",
+    "DEFAULT_EFF_DROP_THRESHOLD",
     "HistoryError",
     "TrajectoryPoint",
     "artifact_row",
@@ -119,6 +123,7 @@ __all__ = [
     "trajectory",
     "CommCapture",
     "capture_comm_ledger",
+    "per_regime_efficiency",
     "ATTRIBUTION_RULES",
     "Hotspot",
     "ProfileAttribution",

@@ -23,7 +23,12 @@ from pathlib import Path
 from typing import Any
 
 from ..parallel.ledger import COMM_LEDGER_SCHEMA
-from ..telemetry import SignatureError, validate_signature_summary
+from ..telemetry import (
+    EfficiencyError,
+    SignatureError,
+    validate_efficiency,
+    validate_signature_summary,
+)
 
 #: Bump on breaking layout changes; the comparator refuses mismatches.
 SCHEMA = "repro.bench/1"
@@ -113,6 +118,14 @@ def validate_artifact(obj: Any, source: str = "artifact") -> dict[str, Any]:
                     signatures, source=f"{source}: benchmarks[{i}] signatures"
                 )
             except SignatureError as exc:
+                raise ArtifactError(str(exc)) from exc
+        efficiency = entry.get("efficiency")
+        if efficiency is not None:
+            try:
+                validate_efficiency(
+                    efficiency, source=f"{source}: benchmarks[{i}] efficiency"
+                )
+            except EfficiencyError as exc:
                 raise ArtifactError(str(exc)) from exc
     return obj
 

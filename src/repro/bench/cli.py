@@ -71,6 +71,7 @@ from .sampling import (
 
 # registration side effect: populate REGISTRY with the built-in sweeps
 from . import suites as _suites  # noqa: F401
+from . import efficiency as _efficiency  # noqa: F401
 
 
 def _cmd_run(args: argparse.Namespace) -> int:

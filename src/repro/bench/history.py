@@ -38,6 +38,7 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
     fcntl = None  # type: ignore[assignment]
 
 from ..io.tables import format_table
+from ..telemetry import BUCKETS
 from .artifact import validate_artifact
 
 #: Bump on breaking row-layout changes.
@@ -56,6 +57,11 @@ DEFAULT_DRIFT_THRESHOLD = 0.5
 #: shift.  0.25 means a quarter of the run's blocksteps moved to a
 #: different regime — the workload changed character, not just speed.
 DEFAULT_SHIFT_THRESHOLD = 0.25
+
+#: Absolute drop of fraction-of-peak between consecutive rows that
+#: raises the EFF flag: the run got a tenth of the machine *less*
+#: efficient — real Tflops regressed even if wall medians look fine.
+DEFAULT_EFF_DROP_THRESHOLD = 0.10
 
 #: Environment-fingerprint fields that define "the same machine".
 _ENV_KEY_FIELDS = ("python", "implementation", "platform", "machine",
@@ -110,6 +116,20 @@ def artifact_row(artifact: dict[str, Any]) -> dict[str, Any]:
                 "dominant": signatures.get("dominant_regime"),
                 "dominant_share": float(signatures.get("dominant_share", 0.0)),
                 "mix": mix,
+            }
+        efficiency = entry.get("efficiency")
+        if isinstance(efficiency, dict) and "fraction_of_peak" in efficiency:
+            # efficiency-observatory distillation: the achieved fraction
+            # of peak and the per-bucket loss fractions (of peak), so
+            # the trajectory can show where the flops went per ingest
+            bench["efficiency"] = {
+                "fraction_of_peak": float(efficiency["fraction_of_peak"]),
+                "real_gflops": float(efficiency.get("real_gflops", 0.0)),
+                "buckets": {
+                    b: float((efficiency.get("buckets") or {})
+                             .get(b, {}).get("fraction", 0.0))
+                    for b in BUCKETS
+                },
             }
         benchmarks[entry["name"]] = bench
     row = {
@@ -322,12 +342,18 @@ class TrajectoryPoint:
     regime_count: int | None = None
     dominant_share: float | None = None
     regime_shift: float | None = None   # TV distance vs previous mix
+    fraction_of_peak: float | None = None
+    bucket_fractions: dict[str, float] | None = None
+    eff_drop: float | None = None       # previous frac - current frac
 
     def drifted(self, threshold: float = DEFAULT_DRIFT_THRESHOLD) -> bool:
         return self.model_drift is not None and abs(self.model_drift) > threshold
 
     def shifted(self, threshold: float = DEFAULT_SHIFT_THRESHOLD) -> bool:
         return self.regime_shift is not None and self.regime_shift > threshold
+
+    def eff_dropped(self, threshold: float = DEFAULT_EFF_DROP_THRESHOLD) -> bool:
+        return self.eff_drop is not None and self.eff_drop > threshold
 
 
 def trajectory(
@@ -345,6 +371,7 @@ def trajectory(
     last_median: dict[tuple[str, str], float] = {}
     last_ratio: dict[tuple[str, str], float] = {}
     last_mix: dict[tuple[str, str], dict[str, int]] = {}
+    last_frac: dict[tuple[str, str], float] = {}
     for row in rows:
         if suite is not None and row.get("suite") != suite:
             continue
@@ -366,6 +393,12 @@ def trajectory(
             shift = None
             if mix and prev_mix:
                 shift = regime_mix_shift(prev_mix, mix)
+            efficiency = bench.get("efficiency") or {}
+            frac = efficiency.get("fraction_of_peak")
+            prev_frac = last_frac.get(key)
+            eff_drop = None
+            if frac is not None and prev_frac is not None:
+                eff_drop = prev_frac - float(frac)
             series.setdefault(name, []).append(
                 TrajectoryPoint(
                     benchmark=name,
@@ -384,6 +417,11 @@ def trajectory(
                     ),
                     dominant_share=regimes.get("dominant_share"),
                     regime_shift=shift,
+                    fraction_of_peak=(
+                        float(frac) if frac is not None else None
+                    ),
+                    bucket_fractions=efficiency.get("buckets") or None,
+                    eff_drop=eff_drop,
                 )
             )
             last_median[key] = median
@@ -391,6 +429,8 @@ def trajectory(
                 last_ratio[key] = ratio
             if mix:
                 last_mix[key] = mix
+            if frac is not None:
+                last_frac[key] = float(frac)
     return series
 
 
@@ -402,6 +442,7 @@ def _traj_rows(
     series: dict[str, list[TrajectoryPoint]],
     drift_threshold: float,
     shift_threshold: float = DEFAULT_SHIFT_THRESHOLD,
+    eff_threshold: float = DEFAULT_EFF_DROP_THRESHOLD,
 ) -> list[tuple]:
     rows: list[tuple] = []
     for name in sorted(series):
@@ -411,6 +452,8 @@ def _traj_rows(
                 flags.append("DRIFT")
             if pt.shifted(shift_threshold):
                 flags.append("SHIFT")
+            if pt.eff_dropped(eff_threshold):
+                flags.append("EFF")
             rows.append(
                 (
                     name if i == 0 else "",
@@ -428,6 +471,9 @@ def _traj_rows(
                     f"{pt.dominant_share * 100.0:.0f}%"
                     if pt.dominant_share is not None
                     else "-",
+                    f"{pt.fraction_of_peak:.2%}"
+                    if pt.fraction_of_peak is not None
+                    else "-",
                     " ".join(flags),
                 )
             )
@@ -435,7 +481,32 @@ def _traj_rows(
 
 
 _TRAJ_HEADERS = ("benchmark", "#", "revision", "tag", "median [ms]",
-                 "delta", "model/meas", "regimes", "dom", "flags")
+                 "delta", "model/meas", "regimes", "dom", "eff", "flags")
+
+
+def _eff_rows(series: dict[str, list[TrajectoryPoint]]) -> list[tuple]:
+    """Efficiency-observatory block: the per-bucket loss fractions of
+    each point that carried a flops waterfall (one column per bucket)."""
+    rows: list[tuple] = []
+    for name in sorted(series):
+        points = [p for p in series[name] if p.bucket_fractions is not None]
+        for i, pt in enumerate(points):
+            buckets = pt.bucket_fractions or {}
+            rows.append(
+                (
+                    name if i == 0 else "",
+                    i + 1,
+                    _sha(pt.git_revision),
+                    f"{pt.fraction_of_peak:.2%}"
+                    if pt.fraction_of_peak is not None
+                    else "-",
+                    *(f"{buckets.get(b, 0.0):.2%}" for b in BUCKETS),
+                )
+            )
+    return rows
+
+
+_EFF_HEADERS = ("benchmark", "#", "revision", "eff", *BUCKETS)
 
 
 def render_history_table(
@@ -467,6 +538,7 @@ def render_history_table(
         if not series:
             continue
         table_rows = _traj_rows(series, drift_threshold, shift_threshold)
+        eff_rows = _eff_rows(series)
         n_points = sum(len(v) for v in series.values())
         if fmt == "markdown":
             head = [f"### Trajectory — suite `{s}` ({n_points} points)", ""]
@@ -475,12 +547,24 @@ def render_history_table(
             for r in table_rows:
                 cells = [f"{c:.4g}" if isinstance(c, float) else str(c) for c in r]
                 md.append("| " + " | ".join(cells) + " |")
+            if eff_rows:
+                md += ["", f"#### Efficiency buckets — suite `{s}`", "",
+                       "| " + " | ".join(_EFF_HEADERS) + " |",
+                       "|" + "|".join(" --- " for _ in _EFF_HEADERS) + "|"]
+                md += ["| " + " | ".join(str(c) for c in r) + " |"
+                       for r in eff_rows]
             blocks.append("\n".join(head + md))
         else:
-            blocks.append(
+            block = (
                 f"# trajectory — suite {s!r} ({n_points} points)\n\n"
                 + format_table(_TRAJ_HEADERS, table_rows)
             )
+            if eff_rows:
+                block += (
+                    f"\n\n## efficiency buckets — suite {s!r}\n\n"
+                    + format_table(_EFF_HEADERS, eff_rows)
+                )
+            blocks.append(block)
     if not blocks:
         return "(history is empty)"
     return "\n\n".join(blocks)

@@ -33,6 +33,11 @@ class BenchContext:
     #: Simulated networks the trial attached; the runner harvests their
     #: comm ledgers into the artifact's ``comm`` section.
     networks: list = field(default_factory=list)
+    #: Hardware the trial modelled (a config dataclass, emulator backend
+    #: or :class:`repro.telemetry.HardwareProfile`); the runner prices
+    #: the artifact's ``efficiency`` waterfall against it.  ``None``
+    #: defaults to the paper's single host.
+    hardware: Any = None
 
     def attach_network(self, network, primary: bool = True) -> None:
         """Register a simulated network with the trial.

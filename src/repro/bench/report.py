@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Any
 
 from ..io.tables import format_table
-from ..telemetry import PAPER_PHASE_NAMES, PHASES
+from ..telemetry import BUCKETS, PAPER_PHASE_NAMES, PHASES
 from .compare import ComparisonResult
 from .profiling import ProfileAttribution
 
@@ -139,6 +139,48 @@ _REGIME_HEADERS = (
 )
 
 
+def _waterfall_rows(entry: dict[str, Any]) -> list[tuple]:
+    """Efficiency-observatory waterfall: peak at the top, one row per
+    loss bucket, achieved ("real") flops at the bottom — the §6 "real
+    Tflops" account rendered fig. 13-style as fractions of peak."""
+    eff = entry.get("efficiency")
+    if not eff:
+        return []
+    peak = eff.get("peak_flops", 0.0)
+    rows: list[tuple] = [("peak", f"{peak:.4g}", "100.0%", _share_bar(1.0))]
+    for bucket in BUCKETS:
+        info = eff.get("buckets", {}).get(bucket, {})
+        flops, frac = info.get("flops", 0.0), info.get("fraction", 0.0)
+        if flops <= 0.0:
+            continue
+        rows.append(
+            (f"- {bucket}", f"{flops:.4g}", f"{frac:.2%}", _share_bar(frac))
+        )
+    frac = eff.get("fraction_of_peak", 0.0)
+    rows.append(
+        ("= real", f"{eff.get('real_flops', 0.0):.4g}", f"{frac:.2%}",
+         _share_bar(frac))
+    )
+    return rows
+
+
+_WATERFALL_HEADERS = ("waterfall", "flops", "of peak", "bar")
+
+
+def _efficiency_lines(entry: dict[str, Any], table: str) -> list[str]:
+    eff = entry.get("efficiency")
+    if not eff:
+        return []
+    return [
+        "",
+        f"efficiency: {eff.get('fraction_of_peak', 0.0):.2%} of peak "
+        f"({eff.get('real_gflops', 0.0):.4g} real Gflops) over "
+        f"{eff.get('blocksteps', 0)} blocksteps, {eff.get('clock')} clock",
+        "",
+        table,
+    ]
+
+
 def _signature_lines(entry: dict[str, Any], table: str) -> list[str]:
     summary = entry.get("signatures")
     if not summary:
@@ -193,6 +235,11 @@ def render_artifact_text(artifact: dict[str, Any]) -> str:
         if regime_rows:
             lines += _signature_lines(
                 entry, format_table(_REGIME_HEADERS, regime_rows)
+            )
+        waterfall = _waterfall_rows(entry)
+        if waterfall:
+            lines += _efficiency_lines(
+                entry, format_table(_WATERFALL_HEADERS, waterfall)
             )
     return "\n".join(lines)
 
@@ -264,6 +311,11 @@ def render_artifact_markdown(artifact: dict[str, Any]) -> str:
         if regime_rows:
             lines += _signature_lines(
                 entry, _md_table(list(_REGIME_HEADERS), regime_rows)
+            )
+        waterfall = _waterfall_rows(entry)
+        if waterfall:
+            lines += _efficiency_lines(
+                entry, _md_table(list(_WATERFALL_HEADERS), waterfall)
             )
     return "\n".join(lines)
 

@@ -22,9 +22,11 @@ from ..telemetry import (
     PHASES,
     RegimeTracker,
     Tracer,
+    efficiency_from_events,
     set_tracer,
     signatures_from_events,
 )
+from .efficiency import per_regime_efficiency
 from .env import environment_fingerprint
 from .artifact import SCHEMA, validate_artifact
 from .registry import REGISTRY, Benchmark, BenchContext, BenchmarkRegistry
@@ -63,11 +65,23 @@ def _run_trial(bench: Benchmark, params: dict[str, Any]) -> dict[str, Any]:
     # per-blockstep signatures and cluster them into regimes; only
     # benchmarks that actually step an integrator produce any
     sigs = signatures_from_events(sink.events)
+    regimes = None
     if sigs:
         regimes = RegimeTracker()
         for sig in sigs:
             regimes.update(sig)
         out["signatures"] = regimes.summary()
+    # efficiency observatory: replay the same span stream through the
+    # flops ledger, priced against the hardware the trial declared
+    # (ctx.hardware, default single host), refined by the comm ledgers
+    ledger = efficiency_from_events(sink.events, hardware=ctx.hardware)
+    if ledger.count:
+        efficiency = ledger.summary(comm=out.get("comm"))
+        if regimes is not None:
+            regime_rows = per_regime_efficiency(ledger.records, regimes)
+            if regime_rows:
+                efficiency["regimes"] = regime_rows
+        out["efficiency"] = efficiency
     return out
 
 
@@ -147,6 +161,10 @@ def run_benchmark(
     # the schedule is seeded, so the last trial stands in for all
     if "signatures" in trials[-1]:
         entry["signatures"] = trials[-1]["signatures"]
+    # the flops waterfall is virtual-clock arithmetic on the seeded
+    # schedule — deterministic per trial, last trial represents all
+    if "efficiency" in trials[-1]:
+        entry["efficiency"] = trials[-1]["efficiency"]
     return entry
 
 

@@ -455,3 +455,21 @@ class Grape6Emulator:
     @property
     def jmem_used(self) -> int:
         return sum(chip.memory.n for chip in self._all_chips)
+
+    @property
+    def lanes_per_chip(self) -> int:
+        """i-particles one chip serves concurrently (48 on the real
+        machine: 6 pipelines x 8-way VMP).  An i-block streams the
+        j-memory in passes of this many slots whether or not they are
+        filled — the under-population loss of fig. 13."""
+        return self._all_chips[0].config.iparallel
+
+    def peak_flops(self) -> float:
+        """Peak speed of this backend [flop/s], 57-op convention.
+
+        The introspection consumers (efficiency observatory, perfmodel
+        comparisons) call this instead of re-deriving pipeline counts
+        from configuration dicts; it sums the actual chip population,
+        so heterogeneous test rigs account correctly.
+        """
+        return sum(chip.config.peak_flops for chip in self._all_chips)

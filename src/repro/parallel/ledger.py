@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable
 
 from ..telemetry import Histogram
+from ..telemetry.timeline import TRACE_PIDS
 
 #: Bump on breaking layout changes of the ledger export; the bench
 #: ``ledger`` CLI and the calibration fit refuse mismatches.
@@ -51,11 +52,11 @@ COMM_LEDGER_SCHEMA = "repro.comm_ledger/1"
 KIND_P2P = "p2p"
 KIND_COLLECTIVE = "collective"
 
-#: Trace process id for ledger events (the span timeline uses pid 1
-#: for the wall clock and pid 2 for the virtual clock; the ledger's
-#: per-rank comm lanes get their own process so they never interleave
-#: with span rows).
-COMM_PID = 3
+#: Base trace process id for ledger events, from the central registry
+#: (:data:`repro.telemetry.timeline.TRACE_PIDS`): network ``i`` of a
+#: multi-fabric run renders under ``COMM_PID + i`` so its per-rank comm
+#: lanes never interleave with span rows or the regime/efficiency lanes.
+COMM_PID = TRACE_PIDS["comm"]
 
 #: Keys every ledger export must carry (validation contract).
 _REQUIRED_LEDGER_KEYS = (

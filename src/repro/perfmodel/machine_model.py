@@ -150,6 +150,40 @@ class MachineModel:
         """Fraction of the configuration's theoretical peak achieved."""
         return self.speed_gflops(n) * 1.0e9 / self.machine.peak_flops
 
+    def efficiency_buckets(self, n: int) -> dict[str, float]:
+        """Predicted loss-bucket fractions of peak, eq.-10 terms mapped
+        onto the :data:`repro.telemetry.efficiency.BUCKETS` taxonomy.
+
+        ``real`` is the useful-work fraction (57 N flops over the peak
+        flops the step duration affords); ``pipeline_idle`` is the
+        pipeline time beyond that (under-populated passes and rounding);
+        ``jmem`` is the host-interface/DMA term — the model folds
+        j-memory traffic into ``t_hif``, so that is where the measured
+        j-memory bucket lands; ``host``/``comm``/``barrier`` map to
+        T_host/T_exchange/T_sync; ``retry`` is not modelled (0.0); the
+        remainder goes to ``other``.  Fractions plus ``real`` sum to
+        1.0, mirroring the measured waterfall for 1:1 comparison.
+        """
+        b = self.step_time_breakdown(n)
+        total = b.total_us
+        if total <= 0.0:
+            return {"real": 0.0, "pipeline_idle": 0.0, "jmem": 0.0, "retry": 0.0,
+                    "host": 0.0, "comm": 0.0, "barrier": 0.0, "other": 0.0}
+        rate_per_us = self.machine.peak_flops / 1.0e6
+        useful_us = 57.0 * n / rate_per_us
+        real = min(useful_us, total) / total
+        out = {
+            "real": real,
+            "pipeline_idle": max(b.grape_us - useful_us, 0.0) / total,
+            "jmem": b.hif_us / total,
+            "retry": 0.0,
+            "host": b.host_us / total,
+            "comm": b.exchange_us / total,
+            "barrier": b.sync_us / total,
+        }
+        out["other"] = max(1.0 - sum(out.values()), 0.0)
+        return out
+
     def sweep(self, n_values) -> list[StepTimeBreakdown]:
         """Evaluate the model over a grid of N (one figure's curve)."""
         return [self.step_time_breakdown(int(n)) for n in n_values]

@@ -120,6 +120,11 @@ def _cmd_status(args: argparse.Namespace) -> int:
                 f" dominant {st.get('dominant_regime')}"
                 f" at {st.get('dominant_share', 0.0):.0%})"
             )
+        if "fraction_of_peak" in st:
+            line += (
+                f" eff={st['fraction_of_peak']:.2%}"
+                f" ({st.get('real_gflops', 0.0):.3g} Gflops)"
+            )
         line += (
             f" checkpoints={len(st['checkpoints'])}"
             f" records={st['archive_records']}"

@@ -18,6 +18,11 @@ afterwards:
     counts/shares and the compact regime lane, plus the full
     ``repro.phase_signature/1`` summary document (nested under
     ``summary``; the flat scalars exist so ``tail`` shows them).
+``efficiency``
+    Efficiency-observatory snapshot: the run's fraction of peak, real
+    Gflops and loss-bucket fractions so far, plus the full
+    ``repro.efficiency/1`` waterfall (nested under ``summary``; the
+    flat scalars exist so ``tail`` shows them).
 ``checkpoint``
     A durable checkpoint hit disk (path, blockstep, t).
 ``discontinuity``
@@ -49,6 +54,7 @@ SNAPSHOT_RECORD_SCHEMA = "repro.snapshot_record/1"
 KIND_STATE = "state"
 KIND_PHASES = "phases"
 KIND_SIGNATURE = "signature"
+KIND_EFFICIENCY = "efficiency"
 KIND_CHECKPOINT = "checkpoint"
 KIND_DISCONTINUITY = "discontinuity"
 KIND_JOB = "job"
@@ -60,6 +66,7 @@ RECORD_KINDS = (
     KIND_STATE,
     KIND_PHASES,
     KIND_SIGNATURE,
+    KIND_EFFICIENCY,
     KIND_CHECKPOINT,
     KIND_DISCONTINUITY,
     KIND_JOB,

@@ -46,6 +46,7 @@ from ..io.checkpoint import (
 )
 from ..io.snapshot import write_snapshot
 from ..telemetry import (
+    FlopsLedger,
     RegimeTracker,
     SignatureRecorder,
     StreamingPhaseSink,
@@ -69,6 +70,7 @@ from .records import (
     KIND_BENCH_ARTIFACT,
     KIND_CHECKPOINT,
     KIND_DISCONTINUITY,
+    KIND_EFFICIENCY,
     KIND_JOB,
     KIND_PHASES,
     KIND_SIGNATURE,
@@ -179,8 +181,16 @@ class Supervisor:
         # not accumulate per-blockstep state)
         regimes = RegimeTracker()
         sig_recorder = SignatureRecorder(callback=regimes.update, keep=False)
-        tracer = Tracer(enabled=True, sinks=[phase_sink, sig_recorder])
         backend = build_backend(params)
+        # efficiency observatory: always-on flops accounting, priced
+        # against the emulator backend's introspected peak (or the
+        # paper's single host when running on direct summation);
+        # keep=False — running totals only, O(1) for unbounded runs
+        eff = FlopsLedger(
+            hardware=backend if hasattr(backend, "peak_flops") else None,
+            keep=False,
+        )
+        tracer = Tracer(enabled=True, sinks=[phase_sink, sig_recorder, eff])
 
         if resume:
             ck_path = self.paths.latest_checkpoint()
@@ -249,11 +259,15 @@ class Supervisor:
             if regimes.count:
                 bus.emit(KIND_SIGNATURE, t=integ.t,
                          **_signature_payload(regimes))
+            if eff.count:
+                bus.emit(KIND_EFFICIENCY, t=integ.t,
+                         **_efficiency_payload(eff))
             write_state(
                 self.paths, "running", name=spec.name, kind=spec.kind,
                 t=integ.t, blocksteps=integ.stats.blocksteps,
                 wall_s=total_wall(), last_checkpoint=str(path),
                 **_regime_state(regimes),
+                **_efficiency_state(eff),
             )
             return path
 
@@ -309,6 +323,7 @@ class Supervisor:
                 wall_s=total_wall(), reason=interrupted,
                 last_checkpoint=str(path),
                 **_regime_state(regimes),
+                **_efficiency_state(eff),
             )
             return "interrupted"
 
@@ -329,6 +344,7 @@ class Supervisor:
             wall_s=total_wall(), last_checkpoint=str(path),
             final_snapshot=str(self.paths.final_snapshot),
             **_regime_state(regimes),
+            **_efficiency_state(eff),
         )
         return "completed"
 
@@ -379,6 +395,7 @@ class Supervisor:
 
         # registration side effect: populate the benchmark registry
         from ..bench import suites as _suites  # noqa: F401
+        from ..bench import efficiency as _efficiency  # noqa: F401
 
         params = spec.params
         artifact = run_suite(
@@ -442,6 +459,37 @@ def _signature_payload(regimes: "RegimeTracker") -> dict[str, Any]:
         "changes": len(regimes.changes),
         "lane": regimes.lane(),
         "summary": regimes.summary(),
+    }
+
+
+def _efficiency_payload(eff: "FlopsLedger") -> dict[str, Any]:
+    """Bus payload of the efficiency observatory's running account:
+    flat scalars (so ``tail``'s text mode shows them) plus the nested
+    ``repro.efficiency/1`` waterfall document."""
+    summary = eff.summary()
+    return {
+        "fraction_of_peak": summary["fraction_of_peak"],
+        "real_gflops": summary["real_gflops"],
+        "blocksteps": summary["blocksteps"],
+        "clock": summary["clock"],
+        "top_loss": max(
+            summary["buckets"],
+            key=lambda b: summary["buckets"][b]["fraction"],
+        ),
+        "summary": summary,
+    }
+
+
+def _efficiency_state(eff: "FlopsLedger") -> dict[str, Any]:
+    """The ``state.json`` face of the flops account (``status`` shows it)."""
+    if not eff.count:
+        return {}
+    return {
+        "fraction_of_peak": eff.fraction_of_peak,
+        "real_gflops": (
+            eff.real_flops / eff.span_us * 1.0e6 / 1.0e9
+            if eff.span_us > 0 else 0.0
+        ),
     }
 
 

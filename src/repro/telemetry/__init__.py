@@ -91,12 +91,25 @@ from .sampler import (
     sample_records,
 )
 from .timeline import (
+    TRACE_PIDS,
     TimelineSink,
     build_timeline,
     sample_events,
     timeline_events,
     validate_timeline,
     write_timeline,
+)
+from .efficiency import (
+    BUCKETS,
+    EFFICIENCY_PID,
+    EFFICIENCY_SCHEMA,
+    BlockstepEfficiency,
+    EfficiencyError,
+    FlopsLedger,
+    HardwareProfile,
+    efficiency_from_events,
+    efficiency_trace_events,
+    validate_efficiency,
 )
 
 __all__ = [
@@ -154,9 +167,20 @@ __all__ = [
     "SOURCE_FRAMES",
     "SOURCE_NONE",
     "TimelineSink",
+    "TRACE_PIDS",
     "build_timeline",
     "timeline_events",
     "sample_events",
     "write_timeline",
     "validate_timeline",
+    "FlopsLedger",
+    "BlockstepEfficiency",
+    "HardwareProfile",
+    "EfficiencyError",
+    "EFFICIENCY_SCHEMA",
+    "EFFICIENCY_PID",
+    "BUCKETS",
+    "efficiency_from_events",
+    "efficiency_trace_events",
+    "validate_efficiency",
 ]

@@ -43,6 +43,7 @@ from typing import Any, Callable, Iterable, Sequence
 import numpy as np
 
 from .phases import DEFAULT_SPAN_PHASES, PHASES, T_OTHER
+from .timeline import TRACE_PIDS
 from .tracer import SpanEvent
 
 #: Bump on breaking signature-record/artifact layout changes.
@@ -54,10 +55,10 @@ SIGNATURE_SCHEMA = "repro.phase_signature/1"
 #: range.  An empty block (degenerate) lights no bucket at all.
 N_BUCKETS = 24
 
-#: Trace process id for the regime lane (wall clock pid 1, virtual
-#: pid 2, comm-ledger lanes 3+; the regime lane sits far above so a
-#: hybrid run's per-cluster fabrics never collide with it).
-REGIME_PID = 40
+#: Trace process id for the regime lane, from the central pid registry
+#: (:data:`repro.telemetry.timeline.TRACE_PIDS`) so it can never
+#: collide with the clock-domain, comm-ledger or efficiency lanes.
+REGIME_PID = TRACE_PIDS["regimes"]
 
 #: Span name the recorder cuts signatures on (the block-timestep
 #: integrator's per-blockstep root span).

@@ -33,9 +33,26 @@ from .phases import PhaseAggregator
 from .sampler import Sample
 from .tracer import SpanEvent
 
+#: Registry of Chrome-trace process ids — one lane group per
+#: subsystem, assigned here so no exporter invents a colliding pid.
+#: ``comm`` is a *base*: a run with several simulated networks renders
+#: network ``i`` under ``TRACE_PIDS["comm"] + i`` (the range up to
+#: ``regimes`` is reserved for it, which bounds a hybrid run at 37
+#: fabrics — far beyond the paper's 4 clusters).
+TRACE_PIDS: dict[str, int] = {
+    "wall": 1,
+    "virtual": 2,
+    "comm": 3,
+    "regimes": 40,
+    "efficiency": 50,
+}
+
+if len(set(TRACE_PIDS.values())) != len(TRACE_PIDS):  # pragma: no cover
+    raise ValueError(f"TRACE_PIDS assigns one pid twice: {TRACE_PIDS}")
+
 #: Trace process ids for the two clock domains.
-WALL_PID = 1
-VIRTUAL_PID = 2
+WALL_PID = TRACE_PIDS["wall"]
+VIRTUAL_PID = TRACE_PIDS["virtual"]
 
 #: displayTimeUnit for the JSON object format.
 _DISPLAY_UNIT = "ms"
@@ -174,10 +191,13 @@ def validate_timeline(doc: Any, source: str = "timeline") -> dict[str, Any]:
 
     Asserts the Trace Event contract the viewers rely on: a
     ``traceEvents`` list whose duration events are "B"/"E"/"X" with
-    numeric microsecond ``ts`` and ``pid``/``tid`` present.
+    numeric microsecond ``ts`` and ``pid``/``tid`` present — and that
+    no pid is claimed by two differently-named trace processes (the
+    collision a hand-assigned pid outside :data:`TRACE_PIDS` risks).
     """
     if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
         raise ValueError(f"{source}: expected object with a 'traceEvents' list")
+    pid_names: dict[Any, str] = {}
     for i, ev in enumerate(doc["traceEvents"]):
         if not isinstance(ev, dict):
             raise ValueError(f"{source}: traceEvents[{i}] is not an object")
@@ -185,6 +205,16 @@ def validate_timeline(doc: Any, source: str = "timeline") -> dict[str, Any]:
         if ph not in ("X", "B", "E", "i", "M", "C"):
             raise ValueError(f"{source}: traceEvents[{i}] has unknown ph {ph!r}")
         if ph == "M":
+            if ev.get("name") == "process_name":
+                pid, name = ev.get("pid"), (ev.get("args") or {}).get("name")
+                if name is not None and pid is not None:
+                    if pid_names.get(pid, name) != name:
+                        raise ValueError(
+                            f"{source}: pid {pid} claimed by two processes "
+                            f"({pid_names[pid]!r} and {name!r}); assign lanes "
+                            f"from telemetry.timeline.TRACE_PIDS"
+                        )
+                    pid_names[pid] = name
             continue
         for key in ("ts", "pid", "tid"):
             if not isinstance(ev.get(key), (int, float)):

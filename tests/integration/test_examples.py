@@ -84,6 +84,13 @@ class TestExamplesRun:
         assert "bit-identical after resume: True" in out
         assert "discontinuity records in the archive: 1" in out
 
+    def test_efficiency_waterfall_demo(self, capsys):
+        out = run_example("efficiency_waterfall_demo.py", "24", capsys=capsys)
+        assert "measured flops waterfall" in out
+        assert "of peak" in out
+        assert "= real flops" in out
+        assert "modelled fraction of peak vs N" in out
+
     def test_phase_observatory_demo(self, capsys):
         out = run_example("phase_observatory_demo.py", "32", capsys=capsys)
         assert "regimes discovered" in out

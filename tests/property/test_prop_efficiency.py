@@ -1,0 +1,144 @@
+"""Property: the flops waterfall is conserved — per blockstep and per
+run, ``real + sum(loss buckets) == peak`` within float tolerance, on
+every emulator datapath (batched vs faithful) and across any
+checkpoint/resume kill point.  A bucket that leaked or double-counted
+flops would silently corrupt the §6 "real Tflops" account, so the
+identity is pinned the same way the phase-signature schedule is."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.individual import BlockTimestepIntegrator
+from repro.hardware import Grape6Emulator
+from repro.io.checkpoint import (
+    read_checkpoint,
+    restore_integrator,
+    write_checkpoint,
+)
+from repro.models import plummer_model
+from repro.telemetry import BUCKETS, FlopsLedger, Tracer, validate_efficiency
+
+EPS2 = 1.0 / 4096.0
+ETA = 0.02
+
+
+def instrumented(n, seed, backend_mode=None):
+    backend = (
+        None if backend_mode is None
+        else Grape6Emulator(EPS2, emulation_mode=backend_mode)
+    )
+    # emulator runs are priced against the backend's own introspected
+    # peak; direct-summation runs against the default single host
+    ledger = FlopsLedger(hardware=backend)
+    integ = BlockTimestepIntegrator(
+        plummer_model(n, seed=seed), EPS2, eta=ETA, backend=backend,
+        tracer=Tracer(enabled=True, sinks=[ledger]),
+    )
+    return integ, ledger
+
+
+def assert_conserved(records):
+    assert records, "run produced no blockstep records"
+    for rec in records:
+        total = rec.real_flops + sum(rec.buckets.values())
+        assert math.isfinite(total)
+        assert math.isfinite(rec.fraction_of_peak)
+        assert 0.0 <= rec.fraction_of_peak <= 1.0 + 1e-9
+        tol = max(1e-9 * max(rec.peak_flops, 1.0), 1e-6)
+        assert abs(total - rec.peak_flops) <= tol, (
+            f"blockstep {rec.blockstep}: real+buckets={total} "
+            f"!= peak={rec.peak_flops}"
+        )
+        for name in BUCKETS:
+            assert rec.buckets[name] >= 0.0
+
+
+class TestBucketConservation:
+    def test_direct_summation(self):
+        integ, ledger = instrumented(24, seed=11)
+        for _ in range(40):
+            integ.step()
+        assert_conserved(ledger.records)
+        validate_efficiency(ledger.summary())
+
+    def test_emulator_modes(self):
+        for mode in ("batched", "faithful"):
+            integ, ledger = instrumented(16, seed=5, backend_mode=mode)
+            for _ in range(30):
+                integ.step()
+            assert_conserved(ledger.records)
+            validate_efficiency(ledger.summary())
+
+    def test_real_flops_match_eq9_modulo_peak_clamp(self):
+        """Eq. 9 useful work (57 * n_block * N) is what each record
+        retires, except where the blockstep was too short to afford it
+        at peak rate (the clamp that keeps fractions in [0, 1])."""
+        integ, ledger = instrumented(16, seed=3, backend_mode="batched")
+        for _ in range(20):
+            integ.step()
+        for rec in ledger.records:
+            expected = 57.0 * rec.block_size * rec.n
+            assert rec.real_flops <= expected + 1e-6
+            assert rec.real_flops <= rec.peak_flops + 1e-6
+
+
+class TestConservationAcrossResume:
+    def run_killed(self, tmp_path, n, seed, kill_at, total, mode=None):
+        victim, victim_led = instrumented(n, seed, mode)
+        for _ in range(kill_at):
+            victim.step()
+        path = tmp_path / "kill.npz"
+        write_checkpoint(path, victim)
+        del victim
+
+        backend = (
+            None if mode is None else Grape6Emulator(EPS2, emulation_mode=mode)
+        )
+        resumed_led = FlopsLedger(hardware=backend)
+        resumed = restore_integrator(
+            read_checkpoint(path), backend=backend,
+            tracer=Tracer(enabled=True, sinks=[resumed_led]),
+        )
+        for _ in range(total - kill_at):
+            resumed.step()
+        return victim_led, resumed_led
+
+    @settings(max_examples=6, deadline=None)
+    @given(kill_at=st.integers(min_value=1, max_value=23))
+    def test_random_kill_point_direct(self, tmp_path_factory, kill_at):
+        tmp_path = tmp_path_factory.mktemp("eff-ckpt")
+        victim, resumed = self.run_killed(
+            tmp_path, n=24, seed=42, kill_at=kill_at, total=24
+        )
+        assert_conserved(victim.records + resumed.records)
+        validate_efficiency(victim.summary())
+        if resumed.count:
+            validate_efficiency(resumed.summary())
+
+    def test_emulator_modes(self, tmp_path):
+        for mode in ("batched", "faithful"):
+            victim, resumed = self.run_killed(
+                tmp_path, n=16, seed=7, kill_at=6, total=14, mode=mode
+            )
+            assert_conserved(victim.records + resumed.records)
+            validate_efficiency(victim.summary())
+            validate_efficiency(resumed.summary())
+
+
+class TestSweepMonotone:
+    def test_smoke_fraction_of_peak_monotone_in_n(self):
+        """The fig. 13 shape: fraction of peak must not fall as N
+        grows on the smoke parameterisation (acceptance criterion)."""
+        from repro.bench import REGISTRY, run_benchmark
+
+        bench = REGISTRY.get("efficiency_sweep")
+        params = bench.params_for("smoke")
+        entry = run_benchmark(bench, params, repeats=1, warmup=0)
+        derived = entry["derived"]
+        assert derived["monotone_in_n"] == 1.0
+        fracs = [derived[f"frac_peak_n{n}"] for n in params["n_values"]]
+        assert all(b >= a - 1e-12 for a, b in zip(fracs, fracs[1:]))
+        assert all(0.0 <= f <= 1.0 for f in fracs)
+        validate_efficiency(entry["efficiency"])
