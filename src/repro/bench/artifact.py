@@ -10,10 +10,12 @@ model-vs-measured ratios).  The schema is versioned so the regression
 gate can refuse artifacts it does not understand instead of
 mis-reading them.
 
-Two optional root keys thread reproducibility through to the history
+Optional root keys thread reproducibility through to the history
 store (:mod:`repro.bench.history`): ``seed`` (the ``--seed`` override
-applied to every benchmark's workload) and ``tag`` (a free-form label
-such as ``post-vectorise``).  Both are validated when present.
+applied to every benchmark's workload), ``tag`` (a free-form label
+such as ``post-vectorise``) and ``exec_backend`` (the
+``--exec-backend`` override applied to every benchmark that dispatches
+rank compute).  All are validated when present.
 """
 
 from __future__ import annotations
@@ -63,6 +65,11 @@ def validate_artifact(obj: Any, source: str = "artifact") -> dict[str, Any]:
     notes = obj.get("notes")
     if notes is not None and not isinstance(notes, str):
         raise ArtifactError(f"{source}: 'notes' must be a string when present")
+    exec_backend = obj.get("exec_backend")
+    if exec_backend is not None and not isinstance(exec_backend, str):
+        raise ArtifactError(
+            f"{source}: 'exec_backend' must be a string when present"
+        )
     benchmarks = obj["benchmarks"]
     if not isinstance(benchmarks, list) or not benchmarks:
         raise ArtifactError(f"{source}: 'benchmarks' must be a non-empty list")

@@ -86,6 +86,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             seed=args.seed,
             tag=args.tag,
             notes=args.notes,
+            exec_backend=args.exec_backend,
         )
     except KeyError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -413,6 +414,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="artifact label (defaults to the suite name)")
     p_run.add_argument("--bench", action="append",
                        help="restrict to this benchmark (repeatable)")
+    p_run.add_argument("--exec-backend", default=None, dest="exec_backend",
+                       metavar="SPEC",
+                       help="override the execution backend of every "
+                            "benchmark that dispatches rank compute "
+                            "(inline | thread[:N] | process[:N])")
     p_run.add_argument("--seed", type=int, default=None,
                        help="override the workload seed of every benchmark "
                        "(recorded in the artifact for reproducibility)")

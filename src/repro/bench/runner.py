@@ -179,6 +179,7 @@ def run_suite(
     seed: int | None = None,
     tag: str | None = None,
     notes: str | None = None,
+    exec_backend: str | None = None,
 ) -> dict[str, Any]:
     """Run every benchmark in ``suite`` and return a validated artifact.
 
@@ -188,7 +189,10 @@ def run_suite(
     ``tag`` labels the artifact (both land in the artifact root, so
     history rows stay reproducible and searchable).  ``notes`` is
     free-text provenance ("dedicated box, governor pinned") persisted
-    into the artifact and its history row.
+    into the artifact and its history row.  ``exec_backend`` (an
+    execution-backend spec like ``"process:4"``; see
+    :func:`repro.parallel.resolve_backend`) overrides the backend of
+    every benchmark that dispatches rank compute.
     """
     registry = registry if registry is not None else REGISTRY
     benchmarks = registry.select(suite)
@@ -208,6 +212,8 @@ def run_suite(
         params = bench.params_for(suite)
         if seed is not None and "seed" in params:
             params["seed"] = int(seed)
+        if exec_backend is not None and "exec_backend" in params:
+            params["exec_backend"] = str(exec_backend)
         entry = run_benchmark(bench, params, repeats=repeats, warmup=warmup)
         entries.append(entry)
         if progress is not None:
@@ -224,6 +230,8 @@ def run_suite(
     }
     if seed is not None:
         artifact["seed"] = int(seed)
+    if exec_backend is not None:
+        artifact["exec_backend"] = str(exec_backend)
     if tag is not None:
         artifact["tag"] = str(tag)
     if notes is not None:

@@ -10,6 +10,10 @@ with the measurements behind the paper's evaluation:
   (fixed-point, block-floating-point) GRAPE-6 force call;
 * ``cluster_speed``           — figs. 15/16: the copy algorithm over a
   simulated NIC network, virtual-clock attribution;
+* ``cluster_speed_exec``      — the same cluster workload's force
+  sweeps dispatched on a real execution backend
+  (:mod:`repro.parallel.execution`), wall-clock speedup vs inline with
+  a bitwise identity check;
 * ``multi_cluster_speed``     — figs. 17/18: copy vs hybrid across
   clusters as *measured* simulated runs (model-derived compute cost
   charged to the virtual clocks, comm measured by the ledger);
@@ -52,6 +56,7 @@ from ..parallel import (
     HybridAlgorithm,
     ParallelBlockIntegrator,
     SimNetwork,
+    resolve_backend,
 )
 from ..perfmodel import MachineModel
 from ..perfmodel.flops import speed_gflops
@@ -247,19 +252,27 @@ def _cluster_setup(params: dict[str, Any]) -> dict[str, Any]:
     paper_ref="figs. 15-16 / section 4.3",
     setup=_cluster_setup,
     suites={
-        "micro": {"n": 48, "ranks": 2, "t_end": 1.0 / 32.0, "seed": DEFAULT_SEED},
-        "smoke": {"n": 128, "ranks": 4, "t_end": 1.0 / 16.0, "seed": DEFAULT_SEED},
-        "full": {"n": 256, "ranks": 4, "t_end": 1.0 / 8.0, "seed": DEFAULT_SEED},
+        "micro": {"n": 48, "ranks": 2, "t_end": 1.0 / 32.0,
+                  "exec_backend": "inline", "seed": DEFAULT_SEED},
+        "smoke": {"n": 128, "ranks": 4, "t_end": 1.0 / 16.0,
+                  "exec_backend": "inline", "seed": DEFAULT_SEED},
+        "full": {"n": 256, "ranks": 4, "t_end": 1.0 / 8.0,
+                 "exec_backend": "inline", "seed": DEFAULT_SEED},
     },
 )
 def cluster_speed(ctx: BenchContext, state: dict[str, Any]) -> dict[str, Any]:
     n, ranks = ctx.params["n"], ctx.params["ranks"]
     network: SimNetwork = state["network"]
     ctx.attach_network(network)
-    integ = ParallelBlockIntegrator(
-        state["system"], _EPS2, CopyAlgorithm(network, _EPS2)
-    )
-    stats = integ.run(ctx.params["t_end"])
+    executor = resolve_backend(ctx.params.get("exec_backend", "inline"))
+    try:
+        integ = ParallelBlockIntegrator(
+            state["system"], _EPS2,
+            CopyAlgorithm(network, _EPS2, executor=executor),
+        )
+        stats = integ.run(ctx.params["t_end"])
+    finally:
+        executor.close()
     virtual_us = network.clock.elapsed
     steps = max(stats.particle_steps, 1)
     msgs = max(network.stats.messages, 1)
@@ -269,6 +282,7 @@ def cluster_speed(ctx: BenchContext, state: dict[str, Any]) -> dict[str, Any]:
     ctx.tracer.count("bench.bytes", network.stats.bytes)
     ledger = network.ledger
     return {
+        "exec_backend": executor.name,
         "particle_steps": stats.particle_steps,
         "virtual_ms": virtual_us / 1.0e3,
         "virtual_us_per_step": measured_us_per_step,
@@ -280,6 +294,95 @@ def cluster_speed(ctx: BenchContext, state: dict[str, Any]) -> dict[str, Any]:
         "straggler_skew": ledger.mean_barrier_skew_us(),
         "model_us_per_step": model_us,
         "model_over_measured": model_us / measured_us_per_step,
+    }
+
+
+# -- real-core execution of the cluster workload ---------------------------
+
+
+def _cluster_exec_setup(params: dict[str, Any]) -> dict[str, Any]:
+    # one fresh system per execution variant: both must see identical
+    # initial conditions, and the reference must stay untouched by the
+    # other variant's run
+    return {
+        "system_inline": plummer_model(params["n"], seed=params["seed"]),
+        "system_exec": plummer_model(params["n"], seed=params["seed"]),
+    }
+
+
+@REGISTRY.register(
+    name="cluster_speed_exec",
+    title="cluster force sweep on real cores vs inline",
+    paper_ref="section 4 (real multi-host execution)",
+    setup=_cluster_exec_setup,
+    suites={
+        "micro": {"n": 96, "ranks": 8, "calls": 1,
+                  "exec_backend": "process:2", "seed": DEFAULT_SEED},
+        "smoke": {"n": 1024, "ranks": 8, "calls": 2,
+                  "exec_backend": "process:2", "seed": DEFAULT_SEED},
+        "full": {"n": 2048, "ranks": 16, "calls": 3,
+                 "exec_backend": "process:4", "seed": DEFAULT_SEED},
+    },
+)
+def cluster_speed_exec(ctx: BenchContext, state: dict[str, Any]) -> dict[str, Any]:
+    """The cluster workload's force phase on real cores.
+
+    Runs the copy algorithm's full-block force sweeps (the O(N^2/p)
+    tiles every simulated host computes per blockstep, at the
+    pipeline-bound block sizes of the paper's section 4 runs) twice on
+    identical systems: once inline, once on the configured execution
+    backend.  Derives the wall-clock speedup and asserts that forces,
+    virtual clocks and comm ledgers are bitwise identical — the
+    execution engine may only change *where* the compute runs, never
+    what it computes.
+    """
+    n, ranks, calls = ctx.params["n"], ctx.params["ranks"], ctx.params["calls"]
+
+    def sweep(system, exec_spec, network):
+        executor = resolve_backend(exec_spec)
+        algo = CopyAlgorithm(network, _EPS2, executor=executor)
+        idx = np.arange(system.n)
+        try:
+            # one warm call primes the pool/arena outside the clock
+            algo.set_j_particles(system.pos, system.vel, system.mass)
+            algo.forces_on(system.pos, system.vel, idx)
+            t0 = time.perf_counter()
+            for _ in range(calls):
+                with ctx.tracer.span("force", phase=T_PIPE, n_i=system.n):
+                    algo.set_j_particles(system.pos, system.vel, system.mass)
+                    res = algo.forces_on(system.pos, system.vel, idx)
+                algo.exchange_updated(idx)
+            elapsed = time.perf_counter() - t0
+        finally:
+            executor.close()
+        return res, elapsed
+
+    # attach before running: attach_network resets the ledger, so it
+    # must never run between the sweep and the identity comparison
+    net_inline, net_exec = SimNetwork(ranks), SimNetwork(ranks)
+    res_inline, wall_inline = sweep(state["system_inline"], "inline", net_inline)
+    exec_spec = ctx.params.get("exec_backend", "process")
+    ctx.attach_network(net_exec)
+    res_exec, wall_exec = sweep(state["system_exec"], exec_spec, net_exec)
+
+    bit_identical = all(
+        np.array_equal(getattr(res_inline, f), getattr(res_exec, f))
+        for f in ("acc", "jerk", "pot")
+    ) and res_inline.interactions == res_exec.interactions
+    virtual_identical = bool(
+        np.array_equal(net_inline.clock.snapshot(), net_exec.clock.snapshot())
+        and net_inline.ledger.summary() == net_exec.ledger.summary()
+    )
+    interactions = res_exec.interactions * calls
+    return {
+        "exec_backend": exec_spec,
+        "interactions_per_call": res_exec.interactions,
+        "inline_wall_s": wall_inline,
+        "exec_wall_s": wall_exec,
+        "exec_speedup": wall_inline / max(wall_exec, 1e-12),
+        "exec_interactions_per_second": interactions / max(wall_exec, 1e-12),
+        "bit_identical": float(bit_identical),
+        "virtual_identical": float(virtual_identical),
     }
 
 

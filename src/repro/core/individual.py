@@ -115,6 +115,11 @@ class BlockTimestepIntegrator:
         self._tracer = tracer
         self.t = 0.0
         self.stats = StepStatistics()
+        #: Block advanced by the most recent :meth:`step` — read by
+        #: subclasses that post-process the block (e.g. the parallel
+        #: driver's coherence exchange) without re-scanning the
+        #: schedule.
+        self._last_block: np.ndarray | None = None
 
         # scratch buffers for the all-particle prediction (avoid
         # per-blockstep allocation; see the optimisation guide)
@@ -221,6 +226,7 @@ class BlockTimestepIntegrator:
         )
         integ._xp = np.empty_like(system.pos)
         integ._vp = np.empty_like(system.vel)
+        integ._last_block = None
         integ.scheduler = BlockScheduler.from_t_next(state["scheduler_t_next"])
         return integ
 
@@ -231,6 +237,7 @@ class BlockTimestepIntegrator:
         s = self.system
         tracer = self.tracer
         t_block, block = self.scheduler.next_block()
+        self._last_block = block
 
         # j-memory counters before the blockstep: their deltas go on the
         # blockstep span so the phase observatory can fingerprint cache

@@ -178,6 +178,7 @@ def restore_integrator(
     checkpoint: Checkpoint,
     backend=None,
     tracer=None,
+    algorithm=None,
 ) -> BlockTimestepIntegrator:
     """Rebuild the block integrator a checkpoint captured.
 
@@ -186,8 +187,19 @@ def restore_integrator(
     ``tests/property/test_prop_checkpoint_resume.py``).  ``backend``
     must match the interrupted run's configuration — the checkpoint
     header's ``metadata`` is the natural place for callers to record
-    it.
+    it.  Passing ``algorithm`` (a parallel force backend) rebuilds a
+    :class:`repro.parallel.ParallelBlockIntegrator` instead, so
+    virtual-time parallel runs resume through the same path.
     """
+    if algorithm is not None:
+        from ..parallel.driver import ParallelBlockIntegrator
+
+        return ParallelBlockIntegrator.from_state(
+            checkpoint.system,
+            checkpoint.integrator_state,
+            tracer=tracer,
+            algorithm=algorithm,
+        )
     return BlockTimestepIntegrator.from_state(
         checkpoint.system,
         checkpoint.integrator_state,

@@ -21,6 +21,15 @@ communication-volume/latency accounting matches the analytic models in
 """
 
 from .virtualtime import VirtualClock
+from .execution import (
+    EXEC_BACKENDS,
+    ExecutionBackend,
+    InlineBackend,
+    ProcessBackend,
+    RankTask,
+    ThreadBackend,
+    resolve_backend,
+)
 from .ledger import (
     COMM_LEDGER_SCHEMA,
     BarrierRecord,
@@ -41,6 +50,13 @@ from .driver import ParallelBlockIntegrator
 
 __all__ = [
     "VirtualClock",
+    "EXEC_BACKENDS",
+    "ExecutionBackend",
+    "InlineBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "RankTask",
+    "resolve_backend",
     "SimNetwork",
     "MessageStats",
     "COMM_LEDGER_SCHEMA",

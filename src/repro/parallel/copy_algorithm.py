@@ -11,6 +11,12 @@ the multi-cluster crossover in fig. 17 sits beyond 10^5 particles.
 The class is a :class:`repro.forces.direct.ForceBackend`, so it plugs
 straight into the block-timestep integrator via
 :class:`repro.parallel.driver.ParallelBlockIntegrator`.
+
+Each rank's force tile is a :class:`repro.parallel.execution.RankTask`
+dispatched through an :class:`~repro.parallel.execution.ExecutionBackend`
+(inline by default; pass ``executor="process:4"`` to run ranks on real
+cores); the virtual-time accounting is replayed by the driver in rank
+order, so results are bit-identical across backends.
 """
 
 from __future__ import annotations
@@ -19,8 +25,8 @@ from typing import Callable
 
 import numpy as np
 
-from ..forces.direct import DirectSummation
 from ..forces.kernels import ForceJerkResult
+from .execution import ExecutionBackend, RankTask, resolve_backend
 from .simcomm import PARTICLE_BYTES, SimNetwork
 
 #: Cost hook signature: (rank, n_i, n_j) -> microseconds of local compute.
@@ -39,6 +45,9 @@ class CopyAlgorithm:
     compute_time_us:
         Optional hook charging local force-computation time to each
         rank's clock (used to couple with :mod:`repro.perfmodel`).
+    executor:
+        Execution backend (or spec string) the rank compute runs on;
+        default inline.
     """
 
     def __init__(
@@ -46,12 +55,13 @@ class CopyAlgorithm:
         network: SimNetwork,
         eps2: float,
         compute_time_us: ComputeTimeHook | None = None,
+        executor: ExecutionBackend | str | None = None,
     ) -> None:
         self.network = network
         self.p = network.n_ranks
-        # one full-copy force engine per node
-        self._engines = [DirectSummation(eps2) for _ in range(self.p)]
+        self.eps2 = float(eps2)
         self.compute_time_us = compute_time_us
+        self.executor = resolve_backend(executor)
         self._n = 0
 
     # -- ForceBackend ----------------------------------------------------------
@@ -60,11 +70,12 @@ class CopyAlgorithm:
         """All nodes receive the (identical) predicted system state.
 
         Prediction happens locally on each node from its coherent copy,
-        so no communication is charged here.
+        so no communication is charged here.  The copy is published once
+        to the execution arena — on the process backend that is one
+        shared-memory write serving every rank worker.
         """
         self._n = x.shape[0]
-        for engine in self._engines:
-            engine.set_j_particles(x, v, m)
+        self.executor.publish(jx=x, jv=v, jm=m)
 
     def share(self, block: np.ndarray, rank: int) -> np.ndarray:
         """Indices of the block updated by ``rank`` (round-robin split)."""
@@ -83,22 +94,40 @@ class CopyAlgorithm:
         force sums (no partial-force reduction is needed — the defining
         property of the copy algorithm).
         """
-        if indices is None:
-            indices = np.arange(xi.shape[0])
         n_b = xi.shape[0]
+        self.executor.publish(ix=xi, iv=vi)
+        # one tile per rank with a non-empty share, in rank order;
+        # targets always coincide with j-copies, so self-interactions
+        # are excluded positionally on every rank
+        active = [r for r in range(self.p) if r < n_b]
+        tasks = [
+            RankTask(
+                "forces",
+                rank,
+                {
+                    "i_rows": ("stride", rank, n_b, self.p),
+                    "j_rows": None,
+                    "eps2": self.eps2,
+                    "exclude_self": True,
+                },
+            )
+            for rank in active
+        ]
+        results = self.executor.run_tasks(tasks)
+
+        # driver-side finish: assemble rank results and replay the
+        # virtual-time charges in rank-major order (identical on every
+        # execution backend)
         acc = np.empty((n_b, 3))
         jerk = np.empty((n_b, 3))
         pot = np.empty(n_b)
         interactions = 0
-        for rank in range(self.p):
+        for rank, res in zip(active, results):
             rows = np.arange(rank, n_b, self.p)
-            if rows.size == 0:
-                continue
-            res = self._engines[rank].forces_on(xi[rows], vi[rows], indices[rows])
-            acc[rows] = res.acc
-            jerk[rows] = res.jerk
-            pot[rows] = res.pot
-            interactions += res.interactions
+            acc[rows] = res["acc"]
+            jerk[rows] = res["jerk"]
+            pot[rows] = res["pot"]
+            interactions += int(res["interactions"])
             if self.compute_time_us is not None:
                 self.network.clock.advance(
                     rank, self.compute_time_us(rank, rows.size, self._n)

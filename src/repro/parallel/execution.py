@@ -1,0 +1,390 @@
+"""Execution backends: run simulated ranks on real cores.
+
+The parallel algorithms in this package used to interleave every
+simulated rank inside central ``for r in range(p)`` loops — a
+16-host sweep was serialized p-fold on the driver.  This module splits
+one blockstep into the two things it is actually made of:
+
+* **rank compute** — the pure O(n_b x N / p) force kernels each rank
+  evaluates.  These are side-effect-free array->array functions
+  (registered in :data:`KERNELS`), so they can run anywhere: the
+  driver thread, a thread pool, or real worker processes.
+* **virtual-time accounting** — sends, recvs, barriers, clock
+  advances, ledger records, tracer spans.  This is cheap and
+  order-sensitive, so it is *always* replayed by the single driver in
+  deterministic rank-major order, regardless of where the compute ran.
+
+That split is the bit-identity argument: the numeric kernels are
+deterministic given identical inputs (same numpy, same process image),
+the driver gathers their results in rank order, and every virtual
+clock/ledger operation happens in exactly the interleaving the old
+central loops used.  Virtual-time trajectories, blockstep schedules,
+comm-ledger summaries and final particle state are therefore bitwise
+equal across all three backends (property-pinned in
+``tests/property/test_prop_execution_backends.py``, like the
+batched-vs-faithful emulator pin) — while wall-clock on the
+``process`` backend scales with cores.
+
+Backends
+--------
+``inline``
+    Sequential execution in the driver thread — the reference, and the
+    default.  Zero overhead; this is exactly the pre-refactor code
+    path.
+``thread``
+    A ``ThreadPoolExecutor`` of rank workers.  The numpy kernels
+    release the GIL inside the big einsum/reduce ops, so there is
+    modest overlap; pure-Python overhead still serializes (see the
+    GIL caveat in ``docs/benchmarking.md``).
+``process``
+    A persistent ``multiprocessing`` pool.  The j-particle arrays
+    (the big operands: N x 3 positions/velocities plus masses) travel
+    through POSIX shared memory, published once per blockstep, so the
+    128-byte-per-particle exchanges never pickle full systems — each
+    task ships only a few index scalars and receives n_b/p rows of
+    acc/jerk/pot back.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from multiprocessing import get_context, shared_memory
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from ..forces.kernels import DEFAULT_CHUNK, acc_jerk_pot_on_targets
+
+#: The selectable backend names, in preference order for docs/CLIs.
+EXEC_BACKENDS = ("inline", "thread", "process")
+
+#: Registered compute kernels, keyed by name.  Process workers import
+#: this module and look tasks up here, so only the key crosses the
+#: pipe — kernels must be module-level and deterministic.
+KERNELS: dict[str, Callable[..., Any]] = {}
+
+
+def kernel(name: str) -> Callable[[Callable], Callable]:
+    """Register a compute kernel under ``name`` (decorator)."""
+
+    def register(fn: Callable) -> Callable:
+        KERNELS[name] = fn
+        return fn
+
+    return register
+
+
+#: Row selectors are picklable descriptions of array subsets, so a
+#: task never carries the subset itself: ``None`` (all rows),
+#: ``("range", lo, hi)``, ``("stride", start, stop, step)``, or an
+#: explicit integer index array (small: at most one entry per block
+#: member).
+RowSel = Any
+
+
+def select_rows(arr: np.ndarray, rows: RowSel) -> np.ndarray:
+    """Apply a row selector to an array."""
+    if rows is None:
+        return arr
+    if isinstance(rows, tuple):
+        if rows[0] == "range":
+            return arr[rows[1]:rows[2]]
+        if rows[0] == "stride":
+            return arr[rows[1]:rows[2]:rows[3]]
+        raise ValueError(f"unknown row selector {rows[0]!r}")
+    return arr[rows]
+
+
+@dataclass(frozen=True)
+class RankTask:
+    """One rank's compute work for one blockstep phase.
+
+    ``fn`` keys into :data:`KERNELS`; ``rank`` is the logical rank the
+    result belongs to (the driver replays its accounting in rank-major
+    order); ``kwargs`` are small picklable arguments — row selectors
+    and scalars, never particle arrays (those live in the published
+    arena).
+    """
+
+    fn: str
+    rank: int
+    kwargs: dict[str, Any] = field(default_factory=dict)
+
+
+@kernel("forces")
+def forces_kernel(
+    arena: Mapping[str, np.ndarray],
+    *,
+    i_rows: RowSel = None,
+    j_rows: RowSel = None,
+    eps2: float,
+    exclude_self: bool,
+    chunk: int = DEFAULT_CHUNK,
+) -> dict[str, Any]:
+    """Pairwise acc/jerk/pot of one rank's (i-subset, j-subset) tile.
+
+    Reads targets from the ``ix``/``iv`` arena arrays and sources from
+    ``jx``/``jv``/``jm``; the selectors say which tile this rank owns.
+    Identical inputs to the old per-rank ``DirectSummation`` engines
+    (``acc_jerk_pot_on_targets`` normalises layout via
+    ``ascontiguousarray``), hence bitwise identical outputs.
+    """
+    res = acc_jerk_pot_on_targets(
+        select_rows(arena["ix"], i_rows),
+        select_rows(arena["iv"], i_rows),
+        select_rows(arena["jx"], j_rows),
+        select_rows(arena["jv"], j_rows),
+        select_rows(arena["jm"], j_rows),
+        eps2,
+        exclude_self=exclude_self,
+        chunk=chunk,
+    )
+    return {
+        "acc": res.acc,
+        "jerk": res.jerk,
+        "pot": res.pot,
+        "interactions": res.interactions,
+    }
+
+
+class ExecutionBackend:
+    """Where rank compute tasks run; see the module docstring.
+
+    The contract every implementation honours:
+
+    * :meth:`publish` makes named arrays visible to the kernels (the
+      "arena"); re-publishing a name replaces it.
+    * :meth:`run_tasks` executes the tasks and returns their results
+      **in task order** — the deterministic merge the bit-identity pin
+      relies on.
+    * :meth:`close` releases workers and shared memory; calling any
+      method after ``close`` is an error for pooled backends.
+    """
+
+    name: str = "?"
+
+    def publish(self, **arrays: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def run_tasks(self, tasks: list[RankTask]) -> list[Any]:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class InlineBackend(ExecutionBackend):
+    """Sequential in-driver execution (the default and reference)."""
+
+    name = "inline"
+    workers = 1
+
+    def __init__(self) -> None:
+        self._arena: dict[str, np.ndarray] = {}
+
+    def publish(self, **arrays: np.ndarray) -> None:
+        self._arena.update(arrays)
+
+    def run_tasks(self, tasks: list[RankTask]) -> list[Any]:
+        return [KERNELS[t.fn](self._arena, **t.kwargs) for t in tasks]
+
+
+class ThreadBackend(ExecutionBackend):
+    """Thread-pool of rank workers over the shared arena (zero-copy)."""
+
+    name = "thread"
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = int(workers) if workers is not None else (os.cpu_count() or 1)
+        if self.workers < 1:
+            raise ValueError("need at least one worker")
+        self._arena: dict[str, np.ndarray] = {}
+        self._pool = None
+
+    def publish(self, **arrays: np.ndarray) -> None:
+        self._arena.update(arrays)
+
+    def run_tasks(self, tasks: list[RankTask]) -> list[Any]:
+        if len(tasks) <= 1:
+            return [KERNELS[t.fn](self._arena, **t.kwargs) for t in tasks]
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-rank",
+            )
+        futures = [
+            self._pool.submit(KERNELS[t.fn], self._arena, **t.kwargs)
+            for t in tasks
+        ]
+        return [f.result() for f in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+# -- process backend ---------------------------------------------------------
+
+#: Worker-side cache of attached shared-memory segments, keyed by the
+#: kernel-visible block name.  Replaced when the driver reallocates a
+#: segment (its shm name changes).
+_ATTACHED: dict[str, shared_memory.SharedMemory] = {}
+
+
+def _worker_call(payload) -> Any:
+    """Pool target: attach the arena, run one kernel, return its result."""
+    fn_key, arena_meta, kwargs = payload
+    arena: dict[str, np.ndarray] = {}
+    for key, (shm_name, dtype, shape) in arena_meta.items():
+        shm = _ATTACHED.get(key)
+        if shm is None or shm.name != shm_name:
+            if shm is not None:
+                shm.close()
+            shm = shared_memory.SharedMemory(name=shm_name)
+            _ATTACHED[key] = shm
+        arena[key] = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+    return KERNELS[fn_key](arena, **kwargs)
+
+
+class _Segment:
+    """One published array living in a shared-memory block."""
+
+    def __init__(self, nbytes: int) -> None:
+        self.shm = shared_memory.SharedMemory(create=True, size=max(nbytes, 1))
+        self.capacity = max(nbytes, 1)
+        self.dtype = ""
+        self.shape: tuple[int, ...] = ()
+
+    def write(self, arr: np.ndarray) -> None:
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=self.shm.buf)
+        view[...] = arr
+        self.dtype = arr.dtype.str
+        self.shape = arr.shape
+
+    def destroy(self) -> None:
+        try:
+            self.shm.close()
+            self.shm.unlink()
+        except (FileNotFoundError, OSError):  # already gone (interpreter exit)
+            pass
+
+
+class ProcessBackend(ExecutionBackend):
+    """Multiprocessing pool with a shared-memory arena.
+
+    The pool is created lazily (``fork`` where available, so workers
+    inherit the loaded interpreter; ``spawn`` otherwise) and persists
+    across blocksteps.  ``publish`` memcpys each array into its
+    segment — ~56 bytes/particle for the j-side per blockstep, far
+    below the O(n_b x N) kernel work it unlocks — and tasks carry only
+    the segment names.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = int(workers) if workers is not None else (os.cpu_count() or 1)
+        if self.workers < 1:
+            raise ValueError("need at least one worker")
+        self._segments: dict[str, _Segment] = {}
+        self._pool = None
+        self._closed = False
+
+    def _ensure_pool(self):
+        if self._closed:
+            raise RuntimeError("backend is closed")
+        if self._pool is None:
+            method = "fork" if "fork" in (
+                __import__("multiprocessing").get_all_start_methods()
+            ) else "spawn"
+            self._pool = get_context(method).Pool(processes=self.workers)
+        return self._pool
+
+    def publish(self, **arrays: np.ndarray) -> None:
+        if self._closed:
+            raise RuntimeError("backend is closed")
+        for key, value in arrays.items():
+            arr = np.ascontiguousarray(value)
+            seg = self._segments.get(key)
+            if seg is None or seg.capacity < arr.nbytes:
+                if seg is not None:
+                    seg.destroy()
+                seg = _Segment(arr.nbytes)
+                self._segments[key] = seg
+            seg.write(arr)
+
+    def run_tasks(self, tasks: list[RankTask]) -> list[Any]:
+        if not tasks:
+            return []
+        pool = self._ensure_pool()
+        meta = {
+            key: (seg.shm.name, seg.dtype, seg.shape)
+            for key, seg in self._segments.items()
+        }
+        payloads = [(t.fn, meta, t.kwargs) for t in tasks]
+        return pool.map(_worker_call, payloads, chunksize=1)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        for seg in self._segments.values():
+            seg.destroy()
+        self._segments.clear()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def resolve_backend(
+    spec: "str | ExecutionBackend | None",
+    workers: int | None = None,
+) -> ExecutionBackend:
+    """Build (or pass through) an execution backend.
+
+    ``spec`` is an :class:`ExecutionBackend` instance, ``None``
+    (inline), or a string ``"inline" | "thread" | "process"`` with an
+    optional ``:N`` worker-count suffix (``"process:4"``); an explicit
+    suffix wins over the ``workers`` argument.
+    """
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    if spec is None:
+        return InlineBackend()
+    if not isinstance(spec, str):
+        raise ValueError(f"not an execution backend: {spec!r}")
+    name, _, suffix = spec.partition(":")
+    if suffix:
+        try:
+            workers = int(suffix)
+        except ValueError:
+            raise ValueError(
+                f"bad worker count in backend spec {spec!r}"
+            ) from None
+    if name == "inline":
+        return InlineBackend()
+    if name == "thread":
+        return ThreadBackend(workers)
+    if name == "process":
+        return ProcessBackend(workers)
+    raise ValueError(
+        f"unknown execution backend {name!r} "
+        f"(have {', '.join(EXEC_BACKENDS)})"
+    )

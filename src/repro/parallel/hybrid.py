@@ -12,6 +12,13 @@ clusters talk over the Ethernet NICs.  This module composes the two —
 the configuration of figs. 17/18 — as one force backend, so the same
 block-timestep integrator drives a functional simulation of the whole
 16-host machine.
+
+All clusters share one :class:`~repro.parallel.execution.ExecutionBackend`
+and their grid-cell tasks are fanned out in a single batch — on the
+``process`` backend every simulated host of the machine runs
+concurrently on real cores — while the per-cluster finish phases replay
+the virtual-time accounting in cluster order, bit-identical to the
+sequential reference.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ import numpy as np
 
 from ..config import NICConfig, NIC_NS83820
 from ..forces.kernels import ForceJerkResult
+from .execution import ExecutionBackend, resolve_backend
 from .grid2d import Grid2DAlgorithm
 from .ledger import CommLedger
 from .simcomm import PARTICLE_BYTES, SimNetwork
@@ -47,6 +55,9 @@ class HybridAlgorithm:
         Optional per-host compute-cost hook ``(rank, n_i, n_j) -> us``
         threaded to every cluster grid (couples the simulated runs to
         :mod:`repro.perfmodel` so sustained speed is measurable).
+    executor:
+        Execution backend (or spec string) shared by every cluster's
+        grid cells; default inline.
     """
 
     def __init__(
@@ -56,11 +67,13 @@ class HybridAlgorithm:
         nic: NICConfig = NIC_NS83820,
         hosts_per_cluster: int = 4,
         compute_time_us: Callable[[int, int, int], float] | None = None,
+        executor: ExecutionBackend | str | None = None,
     ) -> None:
         if clusters < 1:
             raise ValueError("need at least one cluster")
         self.c = clusters
         self.eps2 = float(eps2)
+        self.executor = resolve_backend(executor)
         #: One virtual network per cluster (the in-cluster traffic runs
         #: over the GRAPE network boards and host Ethernet)...
         self.cluster_nets = [SimNetwork(hosts_per_cluster, nic) for _ in range(clusters)]
@@ -76,9 +89,15 @@ class HybridAlgorithm:
             ),
         )
         self.grids = [
-            Grid2DAlgorithm(net, eps2, compute_time_us=compute_time_us)
+            Grid2DAlgorithm(
+                net, eps2, compute_time_us=compute_time_us, executor=self.executor
+            )
             for net in self.cluster_nets
         ]
+        # every cluster holds the same full copy, so the machine owner
+        # publishes the arena arrays once for all grids
+        for grid in self.grids:
+            grid._publish_arrays = False
         self._n = 0
 
     # -- ForceBackend ------------------------------------------------------------
@@ -87,6 +106,7 @@ class HybridAlgorithm:
         """Every cluster receives the full predicted copy (prediction is
         local to each cluster; no inter-cluster traffic)."""
         self._n = x.shape[0]
+        self.executor.publish(jx=x, jv=v, jm=m)
         for grid in self.grids:
             grid.set_j_particles(x, v, m)
 
@@ -101,20 +121,39 @@ class HybridAlgorithm:
         indices: np.ndarray | None = None,
     ) -> ForceJerkResult:
         """Each cluster computes complete forces for its share using its
-        internal 2-D grid; shares are disjoint, so assembly is exact."""
+        internal 2-D grid; shares are disjoint, so assembly is exact.
+
+        All clusters' grid-cell tasks go out in one batch — the full
+        machine's concurrency — and the finish phases run in cluster
+        order so clocks, ledgers and sums replay deterministically.
+        """
         n_b = xi.shape[0]
         if indices is None:
             indices = np.arange(n_b)
         indices = np.asarray(indices)
-        acc = np.empty((n_b, 3))
-        jerk = np.empty((n_b, 3))
-        pot = np.empty(n_b)
-        interactions = 0
+        self.executor.publish(ix=xi, iv=vi)
+
+        plans = []
+        all_tasks = []
         for k in range(self.c):
             rows = np.arange(k, n_b, self.c)
             if rows.size == 0:
                 continue
-            res = self.grids[k].forces_on(xi[rows], vi[rows], indices[rows])
+            plan = self.grids[k].plan_forces(
+                xi[rows], vi[rows], indices[rows], i_base=rows
+            )
+            plans.append((k, rows, plan, len(all_tasks)))
+            all_tasks.extend(plan.tasks)
+        results = self.executor.run_tasks(all_tasks)
+
+        acc = np.empty((n_b, 3))
+        jerk = np.empty((n_b, 3))
+        pot = np.empty(n_b)
+        interactions = 0
+        for k, rows, plan, offset in plans:
+            res = self.grids[k].finish_forces(
+                plan, results[offset:offset + len(plan.tasks)]
+            )
             acc[rows] = res.acc
             jerk[rows] = res.jerk
             pot[rows] = res.pot

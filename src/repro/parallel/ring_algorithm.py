@@ -11,6 +11,13 @@ The active block circulates around the ring; every hop each node adds
 the partial force from its local j-subset.  The per-blockstep
 communication is again independent of p, but the payload now includes
 the partial accumulators, and every hop pays a latency.
+
+The per-hop partial-force tiles are independent of one another, so they
+are dispatched as :class:`repro.parallel.execution.RankTask` batches to
+the configured :class:`~repro.parallel.execution.ExecutionBackend`; the
+hop-order accumulation, clock charges and systolic sends stay on the
+driver, preserving the exact reassociation order (and hence bitwise
+results) of the sequential loop on every backend.
 """
 
 from __future__ import annotations
@@ -19,8 +26,8 @@ from typing import Callable
 
 import numpy as np
 
-from ..forces.direct import DirectSummation
 from ..forces.kernels import ForceJerkResult
+from .execution import ExecutionBackend, RankTask, resolve_backend
 from .simcomm import SimNetwork
 
 #: Bytes per circulating i-particle: predicted position + velocity
@@ -43,13 +50,13 @@ class RingAlgorithm:
         network: SimNetwork,
         eps2: float,
         compute_time_us: Callable[[int, int, int], float] | None = None,
+        executor: ExecutionBackend | str | None = None,
     ) -> None:
         self.network = network
         self.p = network.n_ranks
         self.eps2 = float(eps2)
         self.compute_time_us = compute_time_us
-        self._engines = [DirectSummation(eps2) for _ in range(self.p)]
-        self._owner: np.ndarray | None = None
+        self.executor = resolve_backend(executor)
         self._local_idx: list[np.ndarray] = []
         self._n = 0
 
@@ -58,17 +65,17 @@ class RingAlgorithm:
         return np.asarray(index) % self.p
 
     def set_j_particles(self, x: np.ndarray, v: np.ndarray, m: np.ndarray) -> None:
-        """Distribute the predicted system over the owners' engines.
+        """Distribute the predicted system over the owners.
 
         Only the owner stores each particle; prediction is local (each
         node predicts its own subset), so no traffic is charged here.
+        The full predicted arrays go to the execution arena once — each
+        rank's task selects its strided subset by descriptor.
         """
         self._n = x.shape[0]
         all_idx = np.arange(self._n)
         self._local_idx = [all_idx[all_idx % self.p == r] for r in range(self.p)]
-        for r in range(self.p):
-            idx = self._local_idx[r]
-            self._engines[r].set_j_particles(x[idx], v[idx], m[idx])
+        self.executor.publish(jx=x, jv=v, jm=m)
 
     def forces_on(
         self,
@@ -84,27 +91,48 @@ class RingAlgorithm:
         n_b = xi.shape[0]
         if indices is None:
             indices = np.full(n_b, -1)  # external targets: no self-pairs
+        self.executor.publish(ix=xi, iv=vi)
+
+        overlaps = []
+        tasks = []
+        for hop in range(self.p):
+            local = self._local_idx[hop]
+            # self-exclusion via the position-coincidence convention of
+            # the kernels: exclude only if targets overlap locals
+            overlap = np.isin(indices, local, assume_unique=False)
+            overlaps.append(overlap)
+            tasks.append(
+                RankTask(
+                    "forces",
+                    hop,
+                    {
+                        "i_rows": None,
+                        "j_rows": ("stride", hop, self._n, self.p),
+                        "eps2": self.eps2,
+                        "exclude_self": bool(overlap.any()),
+                    },
+                )
+            )
+        results = self.executor.run_tasks(tasks)
+
+        # driver-side finish: sum the partials in hop order (the exact
+        # reassociation order of the systolic circulation) and replay
+        # each hop's compute charge and systolic send/recv
         acc = np.zeros((n_b, 3))
         jerk = np.zeros((n_b, 3))
         pot = np.zeros(n_b)
         interactions = 0
-
         for hop in range(self.p):
             rank = hop  # the block visits ranks 0..p-1 (order irrelevant
             # to cost: every hop happens once per blockstep)
             local = self._local_idx[rank]
-            # self-exclusion via the position-coincidence convention of
-            # the kernels: pass indices only if targets overlap locals
-            overlap = np.isin(indices, local, assume_unique=False)
-            res = self._engines[rank].forces_on(
-                xi, vi, indices if overlap.any() else None
-            )
-            acc += res.acc
-            jerk += res.jerk
-            pot += res.pot
+            res = results[hop]
+            acc += res["acc"]
+            jerk += res["jerk"]
+            pot += res["pot"]
             # count true pair interactions: n_b * n_local minus the
             # self-pairs actually present on this hop
-            interactions += n_b * local.size - int(overlap.sum())
+            interactions += n_b * local.size - int(overlaps[hop].sum())
             if self.compute_time_us is not None:
                 self.network.clock.advance(
                     rank, self.compute_time_us(rank, n_b, local.size)

@@ -94,6 +94,11 @@ class JobSpec:
     max_blocksteps: int | None = None
     #: Free-text provenance, forwarded into sweep artifacts (--notes).
     notes: str | None = None
+    #: Execution backend for rank compute (run jobs with a parallel
+    #: algorithm, sweep jobs): ``inline`` | ``thread[:N]`` |
+    #: ``process[:N]``.  Purely a placement choice — results are
+    #: bit-identical across backends, so resume may legally switch it.
+    exec_backend: str = "inline"
 
     def as_dict(self) -> dict[str, Any]:
         doc: dict[str, Any] = {
@@ -108,6 +113,8 @@ class JobSpec:
             value = getattr(self, key)
             if value is not None:
                 doc[key] = value
+        if self.exec_backend != "inline":
+            doc["exec_backend"] = self.exec_backend
         return doc
 
     @classmethod
@@ -142,7 +149,9 @@ class JobSpec:
             max_wall_s=doc.get("max_wall_s"),
             max_blocksteps=doc.get("max_blocksteps"),
             notes=doc.get("notes"),
+            exec_backend=doc.get("exec_backend", "inline"),
         )
+        _validate_exec_backend(spec.exec_backend, source)
         if spec.checkpoint_every < 1 or spec.sample_every < 1:
             raise JobError(f"{source}: cadences must be positive")
         for key in ("checkpoint_every_s", "max_wall_s"):
@@ -174,6 +183,29 @@ class JobSpec:
         return spec
 
 
+#: Parallel algorithms a run job may name (hybrid is driven through
+#: the bench suites, not the job runner, because its host count is a
+#: cluster count).
+RUN_ALGORITHMS = ("copy", "ring", "grid2d")
+
+
+def _validate_exec_backend(spec: str, source: str) -> None:
+    """Check an execution-backend spec string (``name`` or ``name:N``)."""
+    if not isinstance(spec, str):
+        raise JobError(f"{source}: 'exec_backend' must be a string")
+    name, _, suffix = spec.partition(":")
+    if name not in ("inline", "thread", "process"):
+        raise JobError(
+            f"{source}: exec_backend {name!r} not one of "
+            "inline, thread, process"
+        )
+    if suffix and (not suffix.isdigit() or int(suffix) < 1):
+        raise JobError(
+            f"{source}: exec_backend worker count {suffix!r} must be a "
+            "positive integer"
+        )
+
+
 def _validate_run_params(params: dict[str, Any], source: str) -> None:
     model = params.get("model", "plummer")
     if model not in MODELS:
@@ -194,6 +226,38 @@ def _validate_run_params(params: dict[str, Any], source: str) -> None:
         raise JobError(
             f"{source}: emulation_mode {mode!r} not 'batched' or 'faithful'"
         )
+    algorithm = params.get("algorithm")
+    if algorithm is None:
+        if "ranks" in params:
+            raise JobError(
+                f"{source}: run 'ranks' needs an 'algorithm' "
+                f"({', '.join(RUN_ALGORITHMS)})"
+            )
+        return
+    if algorithm not in RUN_ALGORITHMS:
+        raise JobError(
+            f"{source}: algorithm {algorithm!r} not one of "
+            f"{', '.join(RUN_ALGORITHMS)}"
+        )
+    if backend != "direct":
+        raise JobError(
+            f"{source}: parallel algorithms require backend 'direct'"
+        )
+    ranks = params.get("ranks", 2)
+    if isinstance(ranks, bool) or not isinstance(ranks, int) or ranks < 1:
+        raise JobError(f"{source}: run 'ranks' must be an int >= 1")
+    if algorithm == "grid2d" and int(ranks ** 0.5 + 0.5) ** 2 != ranks:
+        raise JobError(
+            f"{source}: grid2d needs a square rank count, got {ranks}"
+        )
+    nic = params.get("nic")
+    if nic is not None:
+        from ..config import NICS
+
+        if nic not in NICS:
+            raise JobError(
+                f"{source}: nic {nic!r} not one of {', '.join(sorted(NICS))}"
+            )
 
 
 def load_job(path: str | Path) -> JobSpec:
@@ -320,3 +384,34 @@ def build_backend(params: dict[str, Any]):
         boards=int(params.get("boards", 1)),
         emulation_mode=params.get("emulation_mode", "batched"),
     )
+
+
+def build_parallel(params: dict[str, Any], exec_backend: str = "inline"):
+    """The parallel force algorithm a run job asks for, or None.
+
+    Returns a configured algorithm (copy/ring/grid2d over a fresh
+    :class:`~repro.parallel.SimNetwork`) whose rank compute runs on
+    ``exec_backend``; the caller owns the algorithm's
+    ``executor.close()``.  Serial runs (no ``algorithm`` param) return
+    None.
+    """
+    algorithm = params.get("algorithm")
+    if algorithm is None:
+        return None
+    from ..config import NICS, NIC_NS83820
+    from ..parallel import (
+        CopyAlgorithm,
+        Grid2DAlgorithm,
+        RingAlgorithm,
+        SimNetwork,
+    )
+
+    eps2 = resolve_eps2(params)
+    nic = NICS[params["nic"]] if params.get("nic") else NIC_NS83820
+    network = SimNetwork(int(params.get("ranks", 2)), nic)
+    cls = {
+        "copy": CopyAlgorithm,
+        "ring": RingAlgorithm,
+        "grid2d": Grid2DAlgorithm,
+    }[algorithm]
+    return cls(network, eps2, executor=exec_backend)

@@ -60,6 +60,7 @@ from .jobs import (
     JobPaths,
     JobSpec,
     build_backend,
+    build_parallel,
     build_system,
     load_job,
     read_state,
@@ -191,13 +192,20 @@ class Supervisor:
             keep=False,
         )
         tracer = Tracer(enabled=True, sinks=[phase_sink, sig_recorder, eff])
+        # a parallel run's virtual-time results are bit-identical on
+        # every execution backend (property-pinned), so the spec's
+        # exec_backend — and even a resume that switches it — is purely
+        # a placement choice
+        algorithm = build_parallel(params, exec_backend=spec.exec_backend)
 
         if resume:
             ck_path = self.paths.latest_checkpoint()
             if ck_path is None:
                 raise JobError(f"{self.paths.root}: no checkpoint to resume from")
             ck = read_checkpoint(ck_path)
-            integ = restore_integrator(ck, backend=backend, tracer=tracer)
+            integ = restore_integrator(
+                ck, backend=backend, tracer=tracer, algorithm=algorithm
+            )
             rng = ck.rng
             wall_consumed = float(ck.clocks.get("wall_s", 0.0))
             bus.emit(
@@ -210,16 +218,30 @@ class Supervisor:
             )
         else:
             system = build_system(params)
-            integ = BlockTimestepIntegrator(
-                system,
-                eps2=resolve_eps2(params),
-                eta=float(params.get("eta", DEFAULT_ETA)),
-                eta_start=float(params.get("eta_start", DEFAULT_ETA_START)),
-                backend=backend,
-                dt_max=float(params.get("dt_max", 0.125)),
-                dt_min=float(params.get("dt_min", 2.0**-40)),
-                tracer=tracer,
-            )
+            if algorithm is not None:
+                from ..parallel.driver import ParallelBlockIntegrator
+
+                integ = ParallelBlockIntegrator(
+                    system,
+                    resolve_eps2(params),
+                    algorithm,
+                    eta=float(params.get("eta", DEFAULT_ETA)),
+                    eta_start=float(params.get("eta_start", DEFAULT_ETA_START)),
+                    dt_max=float(params.get("dt_max", 0.125)),
+                    dt_min=float(params.get("dt_min", 2.0**-40)),
+                    tracer=tracer,
+                )
+            else:
+                integ = BlockTimestepIntegrator(
+                    system,
+                    eps2=resolve_eps2(params),
+                    eta=float(params.get("eta", DEFAULT_ETA)),
+                    eta_start=float(params.get("eta_start", DEFAULT_ETA_START)),
+                    backend=backend,
+                    dt_max=float(params.get("dt_max", 0.125)),
+                    dt_min=float(params.get("dt_min", 2.0**-40)),
+                    tracer=tracer,
+                )
             rng = np.random.default_rng(params.get("seed", 1))
             wall_consumed = 0.0
 
@@ -312,6 +334,8 @@ class Supervisor:
             raise
         finally:
             set_tracer(old_tracer)
+            if algorithm is not None:
+                algorithm.executor.close()
 
         if interrupted is not None:
             path = checkpoint("interrupt")
@@ -407,6 +431,9 @@ class Supervisor:
             seed=params.get("seed"),
             tag=params.get("tag"),
             notes=spec.notes,
+            exec_backend=(
+                spec.exec_backend if spec.exec_backend != "inline" else None
+            ),
         )
         path = write_artifact(artifact, self.paths.root / f"BENCH_{spec.name}.json")
         bus.emit(KIND_BENCH_ARTIFACT, artifact=artifact, path=str(path))

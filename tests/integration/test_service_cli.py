@@ -240,3 +240,82 @@ class TestPhaseObservatory:
         out = capsys.readouterr().out
         assert "signature" in out
         assert "dominant_share=" in out
+
+
+PARALLEL_PARAMS = {
+    "model": "plummer", "n": 24, "seed": 17, "t_end": 0.125,
+    "eta": 0.02, "backend": "direct", "algorithm": "copy", "ranks": 3,
+}
+
+
+def write_parallel_spec(path, **overrides):
+    doc = {
+        "schema": "repro.job/1", "kind": "run", "name": "ptest",
+        "params": dict(PARALLEL_PARAMS), "checkpoint_every": 8,
+        "sample_every": 8,
+    }
+    doc.update(overrides)
+    path.write_text(json.dumps(doc))
+    return path
+
+
+class TestParallelRunJob:
+    """Run jobs driving a simulated-cluster algorithm, placed on an
+    execution backend chosen in the spec — and re-placed on resume."""
+
+    @pytest.fixture(scope="class")
+    def parallel_reference(self, tmp_path_factory):
+        """Uninterrupted parallel run on the inline backend."""
+        root = tmp_path_factory.mktemp("pref")
+        spec = write_parallel_spec(root / "job.json", name="pref")
+        assert main(["submit", str(spec), "--dir", str(root / "jobs")]) == 0
+        return root / "jobs" / "pref"
+
+    def test_completed_parallel_run(self, parallel_reference):
+        assert (parallel_reference / "final.npz").exists()
+        state = json.loads((parallel_reference / "state.json").read_text())
+        assert state["status"] == "completed"
+
+    def test_exec_backend_placement_is_invisible(
+        self, parallel_reference, tmp_path
+    ):
+        """The same job on real worker processes lands on a bitwise
+        identical final snapshot."""
+        spec = write_parallel_spec(tmp_path / "job.json", name="procs",
+                                   exec_backend="process:2")
+        jobs = tmp_path / "jobs"
+        assert main(["submit", str(spec), "--dir", str(jobs)]) == 0
+        assert_final_identical(jobs / "procs", parallel_reference)
+
+    def test_resume_may_switch_backend(self, parallel_reference, tmp_path):
+        """Kill on the process backend, resume on threads: placement is
+        per-segment and never shows up in the result."""
+        spec = write_parallel_spec(tmp_path / "job.json", name="pswitch",
+                                   exec_backend="process:2",
+                                   max_blocksteps=8)
+        jobs = tmp_path / "jobs"
+        assert main(["submit", str(spec), "--dir", str(jobs)]) == 3
+        jobdir = jobs / "pswitch"
+        state = json.loads((jobdir / "state.json").read_text())
+        assert state["status"] == "interrupted"
+
+        doc = json.loads((jobdir / "job.json").read_text())
+        del doc["max_blocksteps"]
+        doc["exec_backend"] = "thread:2"
+        (jobdir / "job.json").write_text(json.dumps(doc))
+        assert main(["resume", str(jobdir)]) == 0
+
+        assert_final_identical(jobdir, parallel_reference)
+        records = read_archive(jobdir / "bus.jsonl")
+        assert len([r for r in records if r.kind == "discontinuity"]) == 1
+
+    def test_bad_exec_backend_rejected(self, tmp_path, capsys):
+        spec = write_parallel_spec(tmp_path / "bad.json",
+                                   exec_backend="mpi:4")
+        assert main(["validate", str(spec)]) == 2
+
+    def test_ranks_without_algorithm_rejected(self, tmp_path, capsys):
+        params = dict(PARALLEL_PARAMS)
+        del params["algorithm"]
+        spec = write_parallel_spec(tmp_path / "bad.json", params=params)
+        assert main(["validate", str(spec)]) == 2

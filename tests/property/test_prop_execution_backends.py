@@ -1,0 +1,152 @@
+"""Property: execution backends are invisible to the simulation.
+
+The execution engine's contract (ISSUE: real-process execution) is
+that moving rank compute from the driver thread to a thread pool or to
+real worker processes changes *nothing* observable in virtual time:
+trajectories, blockstep schedules, per-rank virtual clocks,
+comm-ledger summaries and final particle state are all **bitwise**
+identical across inline/thread/process, for every algorithm — and the
+identity survives a checkpoint/resume kill point at any blockstep
+(resumes may even switch backends, which the service documents as a
+pure placement choice).  Hypothesis drives the algorithm choice and
+the kill point, like the emulator's batched-vs-faithful pin.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io.checkpoint import (
+    read_checkpoint,
+    restore_integrator,
+    write_checkpoint,
+)
+from repro.models import plummer_model
+from repro.parallel import (
+    CopyAlgorithm,
+    Grid2DAlgorithm,
+    HybridAlgorithm,
+    ParallelBlockIntegrator,
+    RingAlgorithm,
+    SimNetwork,
+)
+
+EPS2 = 1.0 / 4096.0
+N = 24
+SEED = 42
+TOTAL = 10
+
+ALGORITHMS = ["copy", "ring", "grid2d", "hybrid"]
+EXEC_SPECS = ["thread:2", "process:2"]
+
+
+def build_algorithm(name, exec_spec):
+    if name == "copy":
+        return CopyAlgorithm(SimNetwork(4), EPS2, executor=exec_spec)
+    if name == "ring":
+        return RingAlgorithm(SimNetwork(3), EPS2, executor=exec_spec)
+    if name == "grid2d":
+        return Grid2DAlgorithm(SimNetwork(4), EPS2, executor=exec_spec)
+    return HybridAlgorithm(2, EPS2, executor=exec_spec)
+
+
+def machine_state(algo):
+    """Every observable of the simulated machine: per-rank clocks and
+    ledger summaries of every network."""
+    networks = getattr(algo, "networks", None) or [algo.network]
+    return (
+        [net.clock.snapshot().tolist() for net in networks],
+        [net.ledger.summary() for net in networks],
+    )
+
+
+def run_uninterrupted(name, exec_spec, total=TOTAL):
+    algo = build_algorithm(name, exec_spec)
+    try:
+        integ = ParallelBlockIntegrator(
+            plummer_model(N, seed=SEED), EPS2, algo)
+        for _ in range(total):
+            integ.step()
+    finally:
+        algo.executor.close()
+    return integ, machine_state(algo)
+
+
+def run_killed(name, exec_spec, resume_spec, kill_at, tmp_path,
+               total=TOTAL):
+    """Kill at ``kill_at`` blocksteps, resume from the checkpoint on
+    ``resume_spec`` (possibly a different backend), finish, and return
+    the resumed integrator plus the post-resume machine state."""
+    algo = build_algorithm(name, exec_spec)
+    try:
+        victim = ParallelBlockIntegrator(
+            plummer_model(N, seed=SEED), EPS2, algo)
+        for _ in range(kill_at):
+            victim.step()
+        path = tmp_path / f"{name}_{exec_spec}_{kill_at}.npz"
+        write_checkpoint(path, victim)
+    finally:
+        algo.executor.close()
+    del victim  # the process is gone; only the file survives
+
+    fresh = build_algorithm(name, resume_spec)
+    try:
+        resumed = restore_integrator(
+            read_checkpoint(path), algorithm=fresh)
+        for _ in range(total - kill_at):
+            resumed.step()
+    finally:
+        fresh.executor.close()
+    return resumed, machine_state(fresh)
+
+
+def assert_runs_identical(a, b, machine_a, machine_b):
+    np.testing.assert_array_equal(a.system.pos, b.system.pos)
+    np.testing.assert_array_equal(a.system.vel, b.system.vel)
+    np.testing.assert_array_equal(a.system.acc, b.system.acc)
+    np.testing.assert_array_equal(a.system.jerk, b.system.jerk)
+    np.testing.assert_array_equal(a.system.t, b.system.t)
+    np.testing.assert_array_equal(a.system.dt, b.system.dt)
+    assert a.t == b.t
+    assert a.stats.block_sizes == b.stats.block_sizes
+    assert a.stats.interactions == b.stats.interactions
+    assert machine_a == machine_b
+
+
+class TestCrossBackendBitIdentity:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        name=st.sampled_from(ALGORITHMS),
+        exec_spec=st.sampled_from(EXEC_SPECS),
+    )
+    def test_virtual_time_trajectories_identical(self, name, exec_spec):
+        reference, ref_machine = run_uninterrupted(name, "inline")
+        candidate, machine = run_uninterrupted(name, exec_spec)
+        assert_runs_identical(reference, candidate, ref_machine, machine)
+        assert reference.virtual_time_us == candidate.virtual_time_us
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        name=st.sampled_from(ALGORITHMS),
+        kill_at=st.integers(min_value=1, max_value=TOTAL - 1),
+    )
+    def test_kill_point_identical_across_backends(
+        self, tmp_path_factory, name, kill_at
+    ):
+        """Killed-and-resumed runs agree bitwise whatever backend ran
+        each segment, and their particle state matches the
+        uninterrupted reference."""
+        tmp_path = tmp_path_factory.mktemp("exec-ckpt")
+        ref, ref_machine = run_killed(
+            name, "inline", "inline", kill_at, tmp_path)
+        # kill on process, resume on thread: segments may run anywhere
+        got, machine = run_killed(
+            name, "process:2", "thread:2", kill_at, tmp_path)
+        assert_runs_identical(ref, got, ref_machine, machine)
+
+        uninterrupted, _ = run_uninterrupted(name, "inline")
+        np.testing.assert_array_equal(
+            uninterrupted.system.pos, got.system.pos)
+        np.testing.assert_array_equal(
+            uninterrupted.system.vel, got.system.vel)
+        assert uninterrupted.stats.block_sizes == got.stats.block_sizes

@@ -1,0 +1,240 @@
+"""Unit tests for the execution engine (repro.parallel.execution).
+
+Backends only decide *where* rank kernels run; these tests pin the
+contract that makes that safe: spec parsing, row selectors, identical
+kernel results on every backend, shared-memory arena reuse/growth on
+the process backend, and the driver's one-scan-per-blockstep property
+(the scheduler fix that rode along with the engine).
+"""
+
+import numpy as np
+import pytest
+
+from repro.forces.kernels import acc_jerk_pot_on_targets
+from repro.models import plummer_model
+from repro.parallel import (
+    CopyAlgorithm,
+    InlineBackend,
+    ParallelBlockIntegrator,
+    ProcessBackend,
+    RankTask,
+    SimNetwork,
+    ThreadBackend,
+    resolve_backend,
+)
+from repro.parallel.execution import select_rows
+
+EPS2 = (1.0 / 64.0) ** 2
+
+
+class TestResolveBackend:
+    def test_none_is_inline(self):
+        assert isinstance(resolve_backend(None), InlineBackend)
+
+    def test_names(self):
+        assert isinstance(resolve_backend("inline"), InlineBackend)
+        assert isinstance(resolve_backend("thread"), ThreadBackend)
+        backend = resolve_backend("process")
+        assert isinstance(backend, ProcessBackend)
+        backend.close()
+
+    def test_worker_suffix(self):
+        assert resolve_backend("thread:3").workers == 3
+        backend = resolve_backend("process:2")
+        assert backend.workers == 2
+        backend.close()
+
+    def test_suffix_wins_over_argument(self):
+        assert resolve_backend("thread:5", workers=2).workers == 5
+        assert resolve_backend("thread", workers=2).workers == 2
+
+    def test_instance_passes_through(self):
+        backend = InlineBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            resolve_backend("mpi")
+
+    def test_bad_suffix_rejected(self):
+        with pytest.raises(ValueError, match="worker count"):
+            resolve_backend("thread:lots")
+
+    def test_nonpositive_workers_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_backend("thread:0")
+
+
+class TestSelectRows:
+    def test_selectors(self):
+        arr = np.arange(20.0).reshape(10, 2)
+        np.testing.assert_array_equal(select_rows(arr, None), arr)
+        np.testing.assert_array_equal(
+            select_rows(arr, ("range", 2, 5)), arr[2:5])
+        np.testing.assert_array_equal(
+            select_rows(arr, ("stride", 1, 10, 3)), arr[1:10:3])
+        np.testing.assert_array_equal(
+            select_rows(arr, np.array([7, 0, 3])), arr[[7, 0, 3]])
+
+    def test_unknown_selector_rejected(self):
+        with pytest.raises(ValueError, match="unknown row selector"):
+            select_rows(np.zeros(3), ("slice", 0, 1))
+
+
+def _reference_tile(system, i_rows, j_rows, exclude_self):
+    return acc_jerk_pot_on_targets(
+        select_rows(system.pos, i_rows), select_rows(system.vel, i_rows),
+        select_rows(system.pos, j_rows), select_rows(system.vel, j_rows),
+        select_rows(system.mass, j_rows), EPS2, exclude_self=exclude_self,
+    )
+
+
+@pytest.mark.parametrize("spec", ["inline", "thread:2", "process:2"])
+class TestBackendsRunKernels:
+    def _publish(self, backend, system):
+        backend.publish(
+            ix=system.pos, iv=system.vel,
+            jx=system.pos, jv=system.vel, jm=system.mass,
+        )
+
+    def test_forces_kernel_matches_direct_call(self, spec):
+        system = plummer_model(24, seed=3)
+        backend = resolve_backend(spec)
+        try:
+            self._publish(backend, system)
+            tasks = [
+                RankTask("forces", r, {
+                    "i_rows": ("stride", r, 24, 3),
+                    "j_rows": None,
+                    "eps2": EPS2,
+                    "exclude_self": True,
+                })
+                for r in range(3)
+            ]
+            results = backend.run_tasks(tasks)
+        finally:
+            backend.close()
+        assert len(results) == 3
+        for r, res in enumerate(results):
+            ref = _reference_tile(system, ("stride", r, 24, 3), None, True)
+            np.testing.assert_array_equal(res["acc"], ref.acc)
+            np.testing.assert_array_equal(res["jerk"], ref.jerk)
+            np.testing.assert_array_equal(res["pot"], ref.pot)
+            assert res["interactions"] == ref.interactions
+
+    def test_results_come_back_in_task_order(self, spec):
+        system = plummer_model(16, seed=5)
+        backend = resolve_backend(spec)
+        try:
+            self._publish(backend, system)
+            # deliberately scrambled rank order: results must follow the
+            # task list, not completion order
+            order = [3, 0, 2, 1]
+            tasks = [
+                RankTask("forces", r, {
+                    "i_rows": np.array([r]), "j_rows": None,
+                    "eps2": EPS2, "exclude_self": True,
+                })
+                for r in order
+            ]
+            results = backend.run_tasks(tasks)
+        finally:
+            backend.close()
+        for r, res in zip(order, results):
+            ref = _reference_tile(system, np.array([r]), None, True)
+            np.testing.assert_array_equal(res["acc"], ref.acc)
+
+    def test_empty_task_list(self, spec):
+        backend = resolve_backend(spec)
+        try:
+            assert backend.run_tasks([]) == []
+        finally:
+            backend.close()
+
+    def test_republish_replaces_arrays(self, spec):
+        a = plummer_model(12, seed=7)
+        b = plummer_model(12, seed=8)
+        backend = resolve_backend(spec)
+        try:
+            self._publish(backend, a)
+            self._publish(backend, b)
+            task = RankTask("forces", 0, {
+                "i_rows": None, "j_rows": None,
+                "eps2": EPS2, "exclude_self": True,
+            })
+            (res,) = backend.run_tasks([task])
+        finally:
+            backend.close()
+        ref = _reference_tile(b, None, None, True)
+        np.testing.assert_array_equal(res["acc"], ref.acc)
+
+
+class TestProcessBackendArena:
+    def test_segment_grows_on_larger_publish(self):
+        small = plummer_model(8, seed=1)
+        big = plummer_model(64, seed=2)
+        backend = ProcessBackend(workers=2)
+        try:
+            for system in (small, big):
+                backend.publish(
+                    ix=system.pos, iv=system.vel,
+                    jx=system.pos, jv=system.vel, jm=system.mass,
+                )
+                task = RankTask("forces", 0, {
+                    "i_rows": None, "j_rows": None,
+                    "eps2": EPS2, "exclude_self": True,
+                })
+                (res,) = backend.run_tasks([task])
+                ref = _reference_tile(system, None, None, True)
+                np.testing.assert_array_equal(res["acc"], ref.acc)
+        finally:
+            backend.close()
+
+    def test_close_is_idempotent_and_final(self):
+        backend = ProcessBackend(workers=1)
+        backend.publish(jm=np.ones(4))
+        backend.close()
+        backend.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            backend.publish(jm=np.ones(4))
+
+
+class TestDriverSchedulerScans:
+    def test_one_next_block_scan_per_step(self):
+        """Regression: ParallelBlockIntegrator.step used to re-scan the
+        schedule twice on top of the parent's scan (three O(N) argmin
+        passes per blockstep)."""
+        system = plummer_model(16, seed=11)
+        algo = CopyAlgorithm(SimNetwork(2), EPS2)
+        integ = ParallelBlockIntegrator(system, EPS2, algo)
+
+        calls = {"n": 0}
+        original = integ.scheduler.next_block
+
+        def counting_next_block():
+            calls["n"] += 1
+            return original()
+
+        integ.scheduler.next_block = counting_next_block
+        for expected in (1, 2, 3):
+            integ.step()
+            assert calls["n"] == expected
+
+    def test_exchange_sees_the_stepped_block(self):
+        """The exchange must cover the block the parent just advanced
+        (read back from the parent, not re-derived post-update)."""
+        system = plummer_model(16, seed=13)
+        algo = CopyAlgorithm(SimNetwork(2), EPS2)
+
+        seen = []
+        original = algo.exchange_updated
+        algo.exchange_updated = lambda block: (
+            seen.append(np.array(block)), original(block))[-1]
+
+        integ = ParallelBlockIntegrator(system, EPS2, algo)
+        t_block, n_b = integ.step()
+        assert len(seen) == 1
+        assert seen[0].size == n_b
+        np.testing.assert_array_equal(
+            np.sort(np.flatnonzero(system.t == t_block)), np.sort(seen[0])
+        )
