@@ -27,8 +27,10 @@ from typing import Any
 from ..parallel.ledger import COMM_LEDGER_SCHEMA
 from ..telemetry import (
     EfficiencyError,
+    RankError,
     SignatureError,
     validate_efficiency,
+    validate_rank_section,
     validate_signature_summary,
 )
 
@@ -133,6 +135,14 @@ def validate_artifact(obj: Any, source: str = "artifact") -> dict[str, Any]:
                     efficiency, source=f"{source}: benchmarks[{i}] efficiency"
                 )
             except EfficiencyError as exc:
+                raise ArtifactError(str(exc)) from exc
+        rank = entry.get("rank")
+        if rank is not None:
+            try:
+                validate_rank_section(
+                    rank, source=f"{source}: benchmarks[{i}] rank"
+                )
+            except RankError as exc:
                 raise ArtifactError(str(exc)) from exc
     return obj
 

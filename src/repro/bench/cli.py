@@ -26,7 +26,12 @@ from ..perfmodel.calibrate import (
     merge_calibration,
     save_calibration,
 )
-from ..telemetry import SignatureError, write_timeline
+from ..telemetry import (
+    SignatureError,
+    artifact_metrics,
+    write_openmetrics,
+    write_timeline,
+)
 from .artifact import ArtifactError, read_artifact, write_artifact
 from .comm import capture_comm_ledger
 from .compare import (
@@ -96,6 +101,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"wrote {args.out} ({len(artifact['benchmarks'])} benchmarks)")
     else:
         print(json.dumps(artifact, indent=2, sort_keys=True))
+    if args.metrics:
+        samples = artifact_metrics(artifact)
+        path = write_openmetrics(args.metrics, samples)
+        print(f"wrote {path} ({len(samples)} metric samples)",
+              file=sys.stderr)
     return 0
 
 
@@ -429,6 +439,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="free-text provenance recorded in the artifact "
                        "and its history row (e.g. 'dedicated box, "
                        "governor pinned')")
+    p_run.add_argument("--metrics", default=None, metavar="PATH",
+                       help="also write the artifact's headline gauges "
+                       "(wall medians, fraction of peak, rank skew / "
+                       "utilisation) as an OpenMetrics text file "
+                       "scrapeable by Prometheus")
     p_run.set_defaults(func=_cmd_run)
 
     p_cmp = sub.add_parser("compare", help="regression gate: current vs baseline")

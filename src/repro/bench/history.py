@@ -63,6 +63,13 @@ DEFAULT_SHIFT_THRESHOLD = 0.25
 #: efficient — real Tflops regressed even if wall medians look fine.
 DEFAULT_EFF_DROP_THRESHOLD = 0.10
 
+#: Absolute jump of the real-skew fraction (total real straggler skew
+#: over total dispatch span, from the rank observatory) between
+#: consecutive rows that raises the SKEW flag: the real machine's
+#: load balance got materially worse since the previous ingest even if
+#: the virtual model says nothing changed.
+DEFAULT_SKEW_JUMP_THRESHOLD = 0.15
+
 #: Environment-fingerprint fields that define "the same machine".
 _ENV_KEY_FIELDS = ("python", "implementation", "platform", "machine",
                    "cpu_count", "numpy")
@@ -131,6 +138,30 @@ def artifact_row(artifact: dict[str, Any]) -> dict[str, Any]:
                     for b in BUCKETS
                 },
             }
+        rank = entry.get("rank")
+        if isinstance(rank, dict) and "real_skew_us" in rank:
+            # rank-observatory distillation: enough to render the
+            # real-execution columns and flag skew jumps across ingests.
+            # The fraction normalises total straggler skew by the total
+            # dispatch span so runs of different lengths compare.
+            skew = rank.get("real_skew_us") or {}
+            span = float(rank.get("span_wall_us", 0.0))
+            distilled: dict[str, Any] = {
+                "real_skew_us_mean": float(skew.get("mean", 0.0)),
+                "skew_fraction": (
+                    float(skew.get("total", 0.0)) / span if span > 0 else 0.0
+                ),
+                "utilisation": float(rank.get("utilisation", 0.0)),
+                "publish_bytes_per_step": float(
+                    rank.get("publish_bytes_per_step", 0.0)
+                ),
+            }
+            placement = rank.get("placement")
+            if isinstance(placement, dict):
+                distilled["placement_gap_us_mean"] = float(
+                    (placement.get("gap_us") or {}).get("mean", 0.0)
+                )
+            bench["rank"] = distilled
         benchmarks[entry["name"]] = bench
     row = {
         "schema": HISTORY_SCHEMA,
@@ -345,6 +376,9 @@ class TrajectoryPoint:
     fraction_of_peak: float | None = None
     bucket_fractions: dict[str, float] | None = None
     eff_drop: float | None = None       # previous frac - current frac
+    skew_fraction: float | None = None  # total real skew / total span
+    rank_utilisation: float | None = None
+    skew_jump: float | None = None      # current fraction - previous
 
     def drifted(self, threshold: float = DEFAULT_DRIFT_THRESHOLD) -> bool:
         return self.model_drift is not None and abs(self.model_drift) > threshold
@@ -354,6 +388,9 @@ class TrajectoryPoint:
 
     def eff_dropped(self, threshold: float = DEFAULT_EFF_DROP_THRESHOLD) -> bool:
         return self.eff_drop is not None and self.eff_drop > threshold
+
+    def skewed(self, threshold: float = DEFAULT_SKEW_JUMP_THRESHOLD) -> bool:
+        return self.skew_jump is not None and self.skew_jump > threshold
 
 
 def trajectory(
@@ -372,6 +409,7 @@ def trajectory(
     last_ratio: dict[tuple[str, str], float] = {}
     last_mix: dict[tuple[str, str], dict[str, int]] = {}
     last_frac: dict[tuple[str, str], float] = {}
+    last_skew: dict[tuple[str, str], float] = {}
     for row in rows:
         if suite is not None and row.get("suite") != suite:
             continue
@@ -399,6 +437,12 @@ def trajectory(
             eff_drop = None
             if frac is not None and prev_frac is not None:
                 eff_drop = prev_frac - float(frac)
+            rank = bench.get("rank") or {}
+            skew_fraction = rank.get("skew_fraction")
+            prev_skew = last_skew.get(key)
+            skew_jump = None
+            if skew_fraction is not None and prev_skew is not None:
+                skew_jump = float(skew_fraction) - prev_skew
             series.setdefault(name, []).append(
                 TrajectoryPoint(
                     benchmark=name,
@@ -422,6 +466,12 @@ def trajectory(
                     ),
                     bucket_fractions=efficiency.get("buckets") or None,
                     eff_drop=eff_drop,
+                    skew_fraction=(
+                        float(skew_fraction)
+                        if skew_fraction is not None else None
+                    ),
+                    rank_utilisation=rank.get("utilisation"),
+                    skew_jump=skew_jump,
                 )
             )
             last_median[key] = median
@@ -431,6 +481,8 @@ def trajectory(
                 last_mix[key] = mix
             if frac is not None:
                 last_frac[key] = float(frac)
+            if skew_fraction is not None:
+                last_skew[key] = float(skew_fraction)
     return series
 
 
@@ -443,6 +495,7 @@ def _traj_rows(
     drift_threshold: float,
     shift_threshold: float = DEFAULT_SHIFT_THRESHOLD,
     eff_threshold: float = DEFAULT_EFF_DROP_THRESHOLD,
+    skew_threshold: float = DEFAULT_SKEW_JUMP_THRESHOLD,
 ) -> list[tuple]:
     rows: list[tuple] = []
     for name in sorted(series):
@@ -454,6 +507,8 @@ def _traj_rows(
                 flags.append("SHIFT")
             if pt.eff_dropped(eff_threshold):
                 flags.append("EFF")
+            if pt.skewed(skew_threshold):
+                flags.append("SKEW")
             rows.append(
                 (
                     name if i == 0 else "",
@@ -474,6 +529,9 @@ def _traj_rows(
                     f"{pt.fraction_of_peak:.2%}"
                     if pt.fraction_of_peak is not None
                     else "-",
+                    f"{pt.skew_fraction:.1%}"
+                    if pt.skew_fraction is not None
+                    else "-",
                     " ".join(flags),
                 )
             )
@@ -481,7 +539,8 @@ def _traj_rows(
 
 
 _TRAJ_HEADERS = ("benchmark", "#", "revision", "tag", "median [ms]",
-                 "delta", "model/meas", "regimes", "dom", "eff", "flags")
+                 "delta", "model/meas", "regimes", "dom", "eff", "skew",
+                 "flags")
 
 
 def _eff_rows(series: dict[str, list[TrajectoryPoint]]) -> list[tuple]:

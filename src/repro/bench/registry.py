@@ -38,6 +38,15 @@ class BenchContext:
     #: the artifact's ``efficiency`` waterfall against it.  ``None``
     #: defaults to the paper's single host.
     hardware: Any = None
+    #: Rank ledgers the trial attached (real-execution observatory);
+    #: the runner harvests the first into the artifact's ``rank``
+    #: section, cross-attributed against the trial's comm ledgers.
+    rank_ledgers: list = field(default_factory=list)
+
+    def attach_rank_ledger(self, ledger) -> None:
+        """Register a :class:`repro.telemetry.ranks.RankLedger` whose
+        summary should land in the artifact's ``rank`` section."""
+        self.rank_ledgers.append(ledger)
 
     def attach_network(self, network, primary: bool = True) -> None:
         """Register a simulated network with the trial.

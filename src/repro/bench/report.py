@@ -167,6 +167,64 @@ def _waterfall_rows(entry: dict[str, Any]) -> list[tuple]:
 _WATERFALL_HEADERS = ("waterfall", "flops", "of peak", "bar")
 
 
+def _rank_rows(entry: dict[str, Any]) -> list[tuple]:
+    """Rank-observatory rows: one per rank, real busy time and task
+    distribution — the per-host table the paper's §4 tuning reads."""
+    rank = entry.get("rank")
+    if not rank:
+        return []
+    rows = []
+    busy_total = max(rank.get("busy_us", 0.0), 1e-12)
+    for row in rank.get("ranks", []):
+        share = row.get("busy_us", 0.0) / busy_total
+        rows.append(
+            (
+                row.get("rank"),
+                row.get("tasks", 0),
+                f"{row.get('busy_us', 0.0) / 1.0e3:.2f}",
+                f"{share:.1%}",
+                _share_bar(share),
+                f"{row.get('mean_task_us', 0.0):.0f}",
+                f"{row.get('max_task_us', 0.0):.0f}",
+            )
+        )
+    return rows
+
+
+_RANK_HEADERS = (
+    "rank", "tasks", "busy [ms]", "share", "bar", "mean task [us]", "max [us]"
+)
+
+
+def _rank_lines(entry: dict[str, Any], table: str) -> list[str]:
+    rank = entry.get("rank")
+    if not rank:
+        return []
+    skew = rank.get("real_skew_us", {})
+    lines = [
+        "",
+        f"ranks: {rank.get('n_ranks', 0)} on "
+        f"{'/'.join(rank.get('backends', []) or ['?'])} — "
+        f"utilisation {rank.get('utilisation', 0.0):.1%}, "
+        f"real skew mean {skew.get('mean', 0.0):.0f} us "
+        f"(max {skew.get('max', 0.0):.0f}), "
+        f"publish {rank.get('publish_bytes_per_step', 0.0):.0f} B/step",
+    ]
+    placement = rank.get("placement")
+    if placement:
+        gap = placement.get("gap_us", {}).get("mean", 0.0)
+        buckets = placement.get("buckets", {})
+        lines.append(
+            f"placement gap (real - virtual skew): {gap:+.0f} us/blockstep; "
+            "idle split "
+            f"imbalance {buckets.get('imbalance', {}).get('fraction', 0.0):.1%} / "
+            f"overhead {buckets.get('overhead', {}).get('fraction', 0.0):.1%}"
+        )
+    if table:
+        lines += ["", table]
+    return lines
+
+
 def _efficiency_lines(entry: dict[str, Any], table: str) -> list[str]:
     eff = entry.get("efficiency")
     if not eff:
@@ -240,6 +298,12 @@ def render_artifact_text(artifact: dict[str, Any]) -> str:
         if waterfall:
             lines += _efficiency_lines(
                 entry, format_table(_WATERFALL_HEADERS, waterfall)
+            )
+        rank_rows = _rank_rows(entry)
+        if rank_rows or entry.get("rank"):
+            lines += _rank_lines(
+                entry,
+                format_table(_RANK_HEADERS, rank_rows) if rank_rows else "",
             )
     return "\n".join(lines)
 
@@ -316,6 +380,12 @@ def render_artifact_markdown(artifact: dict[str, Any]) -> str:
         if waterfall:
             lines += _efficiency_lines(
                 entry, _md_table(list(_WATERFALL_HEADERS), waterfall)
+            )
+        rank_rows = _rank_rows(entry)
+        if rank_rows or entry.get("rank"):
+            lines += _rank_lines(
+                entry,
+                _md_table(list(_RANK_HEADERS), rank_rows) if rank_rows else "",
             )
     return "\n".join(lines)
 

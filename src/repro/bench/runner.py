@@ -82,6 +82,11 @@ def _run_trial(bench: Benchmark, params: dict[str, Any]) -> dict[str, Any]:
             if regime_rows:
                 efficiency["regimes"] = regime_rows
         out["efficiency"] = efficiency
+    # rank observatory: real-execution telemetry the trial attached,
+    # cross-attributed against the primary network's virtual barriers
+    if ctx.rank_ledgers:
+        comm_src = ctx.networks[0].ledger if ctx.networks else out.get("comm")
+        out["rank"] = ctx.rank_ledgers[0].summary(comm=comm_src)
     return out
 
 
@@ -165,6 +170,10 @@ def run_benchmark(
     # schedule — deterministic per trial, last trial represents all
     if "efficiency" in trials[-1]:
         entry["efficiency"] = trials[-1]["efficiency"]
+    # real-execution rank telemetry: wall-clock measurements vary per
+    # trial like wall_s does; the last trial is one honest sample
+    if "rank" in trials[-1]:
+        entry["rank"] = trials[-1]["rank"]
     return entry
 
 

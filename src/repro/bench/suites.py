@@ -60,7 +60,7 @@ from ..parallel import (
 )
 from ..perfmodel import MachineModel
 from ..perfmodel.flops import speed_gflops
-from ..telemetry import T_HOST, T_PIPE
+from ..telemetry import RankLedger, T_HOST, T_PIPE
 from .registry import REGISTRY, BenchContext
 
 #: Workload seed shared by the suites (fixed: determinism satellite).
@@ -381,6 +381,107 @@ def cluster_speed_exec(ctx: BenchContext, state: dict[str, Any]) -> dict[str, An
         "exec_wall_s": wall_exec,
         "exec_speedup": wall_inline / max(wall_exec, 1e-12),
         "exec_interactions_per_second": interactions / max(wall_exec, 1e-12),
+        "bit_identical": float(bit_identical),
+        "virtual_identical": float(virtual_identical),
+    }
+
+
+# -- rank observatory: real execution under instrumentation ----------------
+
+
+def _exec_observatory_setup(params: dict[str, Any]) -> dict[str, Any]:
+    # one fresh system per backend variant: the integrator mutates its
+    # system, and the bitwise identity check needs identical starts
+    return {
+        key: plummer_model(params["n"], seed=params["seed"])
+        for key in ("inline", "thread", "exec")
+    }
+
+
+@REGISTRY.register(
+    name="exec_observatory",
+    title="rank observatory: inline vs thread vs process",
+    paper_ref="sections 4/6 (real per-host measurement)",
+    setup=_exec_observatory_setup,
+    suites={
+        "micro": {"n": 32, "ranks": 2, "t_end": 1.0 / 64.0,
+                  "exec_backend": "process:2", "seed": DEFAULT_SEED},
+        "smoke": {"n": 96, "ranks": 4, "t_end": 1.0 / 32.0,
+                  "exec_backend": "process:2", "seed": DEFAULT_SEED},
+        "full": {"n": 192, "ranks": 4, "t_end": 1.0 / 16.0,
+                 "exec_backend": "process:4", "seed": DEFAULT_SEED},
+    },
+)
+def exec_observatory(ctx: BenchContext, state: dict[str, Any]) -> dict[str, Any]:
+    """The same integration on all three execution backends, observed.
+
+    Each variant runs the copy algorithm with a
+    :class:`~repro.telemetry.ranks.RankLedger` attached, so every
+    ``run_tasks`` dispatch returns real per-task wall/CPU/rusage
+    samples.  Derives the headline rank-observatory numbers from the
+    configured backend (real straggler skew, arena publish bytes per
+    blockstep, and the real-vs-virtual placement gap) and asserts the
+    standing guarantee: with the observatory *on*, final particle
+    state and virtual clocks are still bitwise identical across all
+    three backends.
+    """
+    ranks, t_end = ctx.params["ranks"], ctx.params["t_end"]
+    exec_spec = ctx.params.get("exec_backend", "process:2")
+
+    def observed_run(system, spec, network, ledger):
+        executor = resolve_backend(spec)
+        try:
+            integ = ParallelBlockIntegrator(
+                system, _EPS2,
+                CopyAlgorithm(network, _EPS2, executor=executor),
+            ).observe_ranks(ledger)
+            t0 = time.perf_counter()
+            stats = integ.run(t_end)
+            wall = time.perf_counter() - t0
+        finally:
+            executor.close()
+        return stats, wall
+
+    # the reference variants run first: attach_network wires the
+    # tracer's virtual clock to the exec variant's network, and only
+    # that variant's spans should carry its virtual timestamps
+    net_inline, net_thread = SimNetwork(ranks), SimNetwork(ranks)
+    led_inline, led_thread = RankLedger(), RankLedger()
+    _, wall_inline = observed_run(
+        state["inline"], "inline", net_inline, led_inline)
+    _, wall_thread = observed_run(
+        state["thread"], "thread:2", net_thread, led_thread)
+
+    net_exec = SimNetwork(ranks)
+    led_exec = RankLedger()
+    ctx.attach_network(net_exec)
+    _, wall_exec = observed_run(
+        state["exec"], exec_spec, net_exec, led_exec)
+    ctx.attach_rank_ledger(led_exec)
+
+    summary = led_exec.summary(comm=net_exec.ledger)
+    placement = summary.get("placement") or {}
+    bit_identical = all(
+        np.array_equal(getattr(state["inline"], f), getattr(state[k], f))
+        for k in ("thread", "exec")
+        for f in ("pos", "vel")
+    )
+    virtual_identical = all(
+        np.array_equal(net_inline.clock.snapshot(), net.clock.snapshot())
+        for net in (net_thread, net_exec)
+    )
+    ctx.tracer.count("bench.rank_tasks", summary["tasks"])
+    return {
+        "exec_backend": exec_spec,
+        "blocksteps": summary["blocksteps"],
+        "rank_tasks": summary["tasks"],
+        "inline_wall_s": wall_inline,
+        "thread_wall_s": wall_thread,
+        "exec_wall_s": wall_exec,
+        "real_skew_us": summary["real_skew_us"]["mean"],
+        "publish_bytes_per_step": summary["publish_bytes_per_step"],
+        "placement_gap": (placement.get("gap_us") or {}).get("mean", 0.0),
+        "utilisation": summary["utilisation"],
         "bit_identical": float(bit_identical),
         "virtual_identical": float(virtual_identical),
     }

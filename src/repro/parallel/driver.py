@@ -34,9 +34,32 @@ class ParallelBlockIntegrator(BlockTimestepIntegrator):
         Forwarded to the serial integrator.
     """
 
+    #: Rank observatory hook (:meth:`observe_ranks`); ``None`` keeps
+    #: real-execution instrumentation off.  Class-level default so
+    #: construction paths that bypass ``__init__`` (``from_state``
+    #: during checkpoint resume) stay unobserved rather than broken.
+    rank_ledger = None
+
     def __init__(self, system: ParticleSystem, eps2: float, algorithm, **kwargs) -> None:
         self.algorithm = algorithm
         super().__init__(system, eps2, backend=algorithm, **kwargs)
+
+    def observe_ranks(self, ledger) -> "ParallelBlockIntegrator":
+        """Attach a :class:`repro.telemetry.ranks.RankLedger`.
+
+        Wires the ledger's ``observe`` into the algorithm's execution
+        backend (every ``run_tasks`` dispatch reports real per-task
+        timings) and arranges one ``advance`` per blockstep, so the
+        ledger's records line up one-to-one with the comm ledger's
+        per-blockstep barriers — the pairing the real-vs-virtual
+        placement attribution relies on.  Returns ``self`` for
+        chaining.
+        """
+        self.rank_ledger = ledger
+        executor = getattr(self.algorithm, "executor", None)
+        if executor is not None and ledger is not None:
+            executor.attach_observer(ledger.observe)
+        return self
 
     def step(self) -> tuple[float, int]:
         result = super().step()
@@ -53,6 +76,8 @@ class ParallelBlockIntegrator(BlockTimestepIntegrator):
                 messages=network.stats.messages - m0,
                 bytes=network.stats.bytes - b0,
             )
+        if self.rank_ledger is not None:
+            self.rank_ledger.advance(t=self.t, n_block=block.size)
         return result
 
     @classmethod

@@ -47,12 +47,19 @@ Backends
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import time
 from dataclasses import dataclass, field
 from multiprocessing import get_context, shared_memory
 from typing import Any, Callable, Mapping
 
 import numpy as np
+
+try:  # POSIX only; samples carry zeros where rusage is unavailable
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None
 
 from ..forces.kernels import DEFAULT_CHUNK, acc_jerk_pot_on_targets
 
@@ -148,6 +155,57 @@ def forces_kernel(
     }
 
 
+# -- rank-observatory instrumentation ---------------------------------------
+
+
+def _monotonic_us() -> float:
+    """Absolute CLOCK_MONOTONIC microseconds — shared across forked
+    workers, so driver- and worker-side stamps share one time base."""
+    return time.perf_counter() * 1.0e6
+
+
+def _instrumented_call(
+    fn_key: str,
+    arena: Mapping[str, np.ndarray],
+    kwargs: dict[str, Any],
+    rank: int,
+    attach_bytes: int = 0,
+) -> tuple[Any, dict[str, Any]]:
+    """Run one kernel bracketed by the rank-observatory clocks.
+
+    The kernel invocation is *exactly* the uninstrumented one — the
+    measurement only surrounds it, which is the bit-identity argument
+    for observatory-on vs observatory-off runs.  Returns the result
+    plus a ``repro.rank_sample/1`` sidecar dict: real wall
+    (``time.perf_counter``), CPU time (``os.times`` user+system),
+    ``resource.getrusage`` deltas, and the bytes of shared memory this
+    call newly attached.
+    """
+    ru0 = resource.getrusage(resource.RUSAGE_SELF) if resource else None
+    cpu0 = os.times()
+    t0 = _monotonic_us()
+    result = KERNELS[fn_key](arena, **kwargs)
+    wall_us = _monotonic_us() - t0
+    cpu1 = os.times()
+    ru1 = resource.getrusage(resource.RUSAGE_SELF) if resource else None
+    sample = {
+        "rank": int(rank),
+        "pid": os.getpid(),
+        "t_start_us": t0,
+        "wall_us": wall_us,
+        "cpu_us": max(
+            (cpu1.user - cpu0.user) + (cpu1.system - cpu0.system), 0.0
+        ) * 1.0e6,
+        "maxrss_kb": float(ru1.ru_maxrss) if ru1 else 0.0,
+        "vol_ctx_switches": int(ru1.ru_nvcsw - ru0.ru_nvcsw) if ru1 else 0,
+        "invol_ctx_switches": int(ru1.ru_nivcsw - ru0.ru_nivcsw) if ru1 else 0,
+        "minor_faults": int(ru1.ru_minflt - ru0.ru_minflt) if ru1 else 0,
+        "major_faults": int(ru1.ru_majflt - ru0.ru_majflt) if ru1 else 0,
+        "attach_bytes": int(attach_bytes),
+    }
+    return result, sample
+
+
 class ExecutionBackend:
     """Where rank compute tasks run; see the module docstring.
 
@@ -160,9 +218,26 @@ class ExecutionBackend:
       relies on.
     * :meth:`close` releases workers and shared memory; calling any
       method after ``close`` is an error for pooled backends.
+
+    Observability (:mod:`repro.telemetry.ranks`) is opt-in: with an
+    observer attached (:meth:`attach_observer`), every ``run_tasks``
+    dispatch additionally measures each task on its worker and hands
+    the observer one report dict — backend name, driver-side dispatch
+    wall, bytes published into the arena since the previous dispatch,
+    and one sidecar sample per task.  Without an observer the dispatch
+    path is byte-for-byte the uninstrumented one; with one, only the
+    measurement brackets change — results never do (property-pinned).
     """
 
     name: str = "?"
+    workers: int = 1
+
+    #: Dispatch-report callback; ``None`` keeps instrumentation off.
+    _observer: "Callable[[dict[str, Any]], None] | None" = None
+    #: Arena bytes published since the last dispatch report.
+    _publish_pending: int = 0
+    #: Arena bytes published over the backend's lifetime.
+    publish_bytes: int = 0
 
     def publish(self, **arrays: np.ndarray) -> None:
         raise NotImplementedError
@@ -172,6 +247,41 @@ class ExecutionBackend:
 
     def close(self) -> None:  # pragma: no cover - trivial default
         pass
+
+    def attach_observer(
+        self, observer: "Callable[[dict[str, Any]], None] | None"
+    ) -> None:
+        """Install (or with ``None`` remove) the dispatch observer —
+        typically :meth:`repro.telemetry.ranks.RankLedger.observe`."""
+        self._observer = observer
+
+    def detach_observer(self) -> None:
+        self._observer = None
+
+    def _note_publish(self, arrays: Mapping[str, np.ndarray]) -> None:
+        nbytes = sum(int(a.nbytes) for a in arrays.values())
+        self.publish_bytes += nbytes
+        self._publish_pending += nbytes
+
+    def _report(
+        self,
+        t_start_us: float,
+        samples: list[dict[str, Any]],
+    ) -> None:
+        observer = self._observer
+        if observer is None:  # pragma: no cover - guarded by callers
+            return
+        report = {
+            "backend": self.name,
+            "workers": self.workers,
+            "n_tasks": len(samples),
+            "t_start_us": t_start_us,
+            "span_wall_us": _monotonic_us() - t_start_us,
+            "publish_bytes": self._publish_pending,
+            "samples": samples,
+        }
+        self._publish_pending = 0
+        observer(report)
 
     def __enter__(self) -> "ExecutionBackend":
         return self
@@ -191,9 +301,22 @@ class InlineBackend(ExecutionBackend):
 
     def publish(self, **arrays: np.ndarray) -> None:
         self._arena.update(arrays)
+        self._note_publish(arrays)
 
     def run_tasks(self, tasks: list[RankTask]) -> list[Any]:
-        return [KERNELS[t.fn](self._arena, **t.kwargs) for t in tasks]
+        if self._observer is None:
+            return [KERNELS[t.fn](self._arena, **t.kwargs) for t in tasks]
+        t0 = _monotonic_us()
+        results: list[Any] = []
+        samples: list[dict[str, Any]] = []
+        for t in tasks:
+            result, sample = _instrumented_call(
+                t.fn, self._arena, t.kwargs, t.rank
+            )
+            results.append(result)
+            samples.append(sample)
+        self._report(t0, samples)
+        return results
 
 
 class ThreadBackend(ExecutionBackend):
@@ -210,22 +333,41 @@ class ThreadBackend(ExecutionBackend):
 
     def publish(self, **arrays: np.ndarray) -> None:
         self._arena.update(arrays)
+        self._note_publish(arrays)
 
     def run_tasks(self, tasks: list[RankTask]) -> list[Any]:
+        observed = self._observer is not None
+        t0 = _monotonic_us() if observed else 0.0
         if len(tasks) <= 1:
-            return [KERNELS[t.fn](self._arena, **t.kwargs) for t in tasks]
-        if self._pool is None:
-            from concurrent.futures import ThreadPoolExecutor
+            if not observed:
+                return [KERNELS[t.fn](self._arena, **t.kwargs) for t in tasks]
+            pairs = [
+                _instrumented_call(t.fn, self._arena, t.kwargs, t.rank)
+                for t in tasks
+            ]
+        else:
+            if self._pool is None:
+                from concurrent.futures import ThreadPoolExecutor
 
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.workers,
-                thread_name_prefix="repro-rank",
-            )
-        futures = [
-            self._pool.submit(KERNELS[t.fn], self._arena, **t.kwargs)
-            for t in tasks
-        ]
-        return [f.result() for f in futures]
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-rank",
+                )
+            if not observed:
+                futures = [
+                    self._pool.submit(KERNELS[t.fn], self._arena, **t.kwargs)
+                    for t in tasks
+                ]
+                return [f.result() for f in futures]
+            futures = [
+                self._pool.submit(
+                    _instrumented_call, t.fn, self._arena, t.kwargs, t.rank
+                )
+                for t in tasks
+            ]
+            pairs = [f.result() for f in futures]
+        self._report(t0, [s for _, s in pairs])
+        return [r for r, _ in pairs]
 
     def close(self) -> None:
         if self._pool is not None:
@@ -237,14 +379,29 @@ class ThreadBackend(ExecutionBackend):
 
 #: Worker-side cache of attached shared-memory segments, keyed by the
 #: kernel-visible block name.  Replaced when the driver reallocates a
-#: segment (its shm name changes).
+#: segment (its shm name changes) and evicted when the driver stops
+#: publishing the name — both stale handles are *closed*, or a
+#: long-running worker leaks one fd per segment growth/retirement.
 _ATTACHED: dict[str, shared_memory.SharedMemory] = {}
 
 
-def _worker_call(payload) -> Any:
-    """Pool target: attach the arena, run one kernel, return its result."""
-    fn_key, arena_meta, kwargs = payload
+def _attach_arena(
+    arena_meta: dict[str, tuple[str, str, tuple[int, ...]]],
+) -> tuple[dict[str, np.ndarray], int]:
+    """Attach (or re-use) the published segments in this worker.
+
+    Returns the kernel-visible arena plus the bytes newly attached by
+    this call (0 on the warm path — the figure the rank observatory
+    reports as ``attach_bytes``).  Stale cache entries — a key whose
+    segment was reallocated under a new shm name, or a key the driver
+    no longer publishes — are closed and dropped, so the worker's fd
+    table stays bounded over arbitrarily long jobs.
+    """
+    for key in list(_ATTACHED):
+        if key not in arena_meta:
+            _ATTACHED.pop(key).close()
     arena: dict[str, np.ndarray] = {}
+    attached_bytes = 0
     for key, (shm_name, dtype, shape) in arena_meta.items():
         shm = _ATTACHED.get(key)
         if shm is None or shm.name != shm_name:
@@ -252,8 +409,25 @@ def _worker_call(payload) -> Any:
                 shm.close()
             shm = shared_memory.SharedMemory(name=shm_name)
             _ATTACHED[key] = shm
+            attached_bytes += shm.size
         arena[key] = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+    return arena, attached_bytes
+
+
+def _worker_call(payload) -> Any:
+    """Pool target: attach the arena, run one kernel, return its result."""
+    fn_key, arena_meta, kwargs = payload
+    arena, _ = _attach_arena(arena_meta)
     return KERNELS[fn_key](arena, **kwargs)
+
+
+def _worker_call_instrumented(payload) -> tuple[Any, dict[str, Any]]:
+    """Observed pool target: same kernel call, plus the sidecar sample."""
+    fn_key, arena_meta, kwargs, rank = payload
+    arena, attach_bytes = _attach_arena(arena_meta)
+    return _instrumented_call(
+        fn_key, arena, kwargs, rank, attach_bytes=attach_bytes
+    )
 
 
 class _Segment:
@@ -304,9 +478,11 @@ class ProcessBackend(ExecutionBackend):
         if self._closed:
             raise RuntimeError("backend is closed")
         if self._pool is None:
-            method = "fork" if "fork" in (
-                __import__("multiprocessing").get_all_start_methods()
-            ) else "spawn"
+            method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
             self._pool = get_context(method).Pool(processes=self.workers)
         return self._pool
 
@@ -322,17 +498,27 @@ class ProcessBackend(ExecutionBackend):
                 seg = _Segment(arr.nbytes)
                 self._segments[key] = seg
             seg.write(arr)
+        self._note_publish(arrays)
 
     def run_tasks(self, tasks: list[RankTask]) -> list[Any]:
+        observed = self._observer is not None
         if not tasks:
+            if observed:
+                self._report(_monotonic_us(), [])
             return []
+        t0 = _monotonic_us() if observed else 0.0
         pool = self._ensure_pool()
         meta = {
             key: (seg.shm.name, seg.dtype, seg.shape)
             for key, seg in self._segments.items()
         }
-        payloads = [(t.fn, meta, t.kwargs) for t in tasks]
-        return pool.map(_worker_call, payloads, chunksize=1)
+        if not observed:
+            payloads = [(t.fn, meta, t.kwargs) for t in tasks]
+            return pool.map(_worker_call, payloads, chunksize=1)
+        payloads = [(t.fn, meta, t.kwargs, t.rank) for t in tasks]
+        pairs = pool.map(_worker_call_instrumented, payloads, chunksize=1)
+        self._report(t0, [s for _, s in pairs])
+        return [r for r, _ in pairs]
 
     def close(self) -> None:
         if self._closed:
@@ -362,7 +548,10 @@ def resolve_backend(
     ``spec`` is an :class:`ExecutionBackend` instance, ``None``
     (inline), or a string ``"inline" | "thread" | "process"`` with an
     optional ``:N`` worker-count suffix (``"process:4"``); an explicit
-    suffix wins over the ``workers`` argument.
+    suffix wins over the ``workers`` argument.  A non-positive worker
+    count (``"thread:0"``, ``"process:-1"``) is rejected up front with
+    the offending spec named, instead of surfacing later as a bare
+    pool-construction error.
     """
     if isinstance(spec, ExecutionBackend):
         return spec
@@ -378,6 +567,11 @@ def resolve_backend(
             raise ValueError(
                 f"bad worker count in backend spec {spec!r}"
             ) from None
+        if workers < 1:
+            raise ValueError(
+                f"non-positive worker count in backend spec {spec!r} "
+                "(need at least 1)"
+            )
     if name == "inline":
         return InlineBackend()
     if name == "thread":

@@ -1,4 +1,5 @@
-"""``python -m repro.service`` — submit / status / resume / tail.
+"""``python -m repro.service`` — submit / status / resume / tail /
+metrics.
 
 Exit codes are supervisor-facing and deliberate:
 
@@ -16,10 +17,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import Sequence
 
 from ..bench.history import DEFAULT_HISTORY_PATH
+from ..telemetry import job_metrics, render_openmetrics, write_openmetrics
 from .consumers import read_archive
 from .jobs import JobError, JobPaths, JobSpec, load_job, read_state
 from .supervisor import Supervisor
@@ -81,59 +84,116 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     return _execute(sup, resume=sup.paths.latest_checkpoint() is not None)
 
 
-def _cmd_status(args: argparse.Namespace) -> int:
+def _resolve_jobdirs(args: argparse.Namespace) -> list[Path]:
     jobdirs = [Path(d) for d in args.jobdir]
     if not jobdirs and args.dir:
         root = Path(args.dir)
         jobdirs = sorted(
             p.parent for p in root.glob("*/job.json")
         ) if root.is_dir() else []
-    if not jobdirs:
-        print("no jobs found", file=sys.stderr)
-        return 2
+    return jobdirs
+
+
+def _collect_statuses(jobdirs: list[Path]) -> list[dict]:
     rows = []
     for jobdir in jobdirs:
         sup = Supervisor(jobdir)
+        rows.append(sup.status())
+    return rows
+
+
+def _status_line(st: dict) -> str:
+    line = (
+        f"{st.get('name', '?'):24s} {st.get('kind', '?'):9s} "
+        f"{st['status']:11s}"
+    )
+    if "t" in st:
+        line += f" t={st['t']:.6g}"
+    if "blocksteps" in st:
+        line += f" blocksteps={st['blocksteps']}"
+    if "wall_s" in st:
+        line += f" wall={st['wall_s']:.1f}s"
+    if "regime" in st:
+        line += (
+            f" regime={st['regime']}"
+            f" ({st.get('n_regimes', 0)} seen,"
+            f" dominant {st.get('dominant_regime')}"
+            f" at {st.get('dominant_share', 0.0):.0%})"
+        )
+    if "fraction_of_peak" in st:
+        line += (
+            f" eff={st['fraction_of_peak']:.2%}"
+            f" ({st.get('real_gflops', 0.0):.3g} Gflops)"
+        )
+    rank = st.get("rank")
+    if isinstance(rank, dict):
+        line += (
+            f" ranks={rank.get('n_ranks', 0)}"
+            f" util={rank.get('utilisation', 0.0):.0%}"
+            f" skew={rank.get('real_skew_us_mean', 0.0):.0f}us"
+        )
+    line += (
+        f" checkpoints={len(st['checkpoints'])}"
+        f" records={st['archive_records']}"
+    )
+    if st.get("reason"):
+        line += f" ({st['reason']})"
+    if st.get("error"):
+        line += f" [{st['error']}]"
+    return line
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    watch = getattr(args, "watch", None)
+    iterations = getattr(args, "iterations", None)
+    shown = 0
+    while True:
+        jobdirs = _resolve_jobdirs(args)
+        if not jobdirs:
+            print("no jobs found", file=sys.stderr)
+            return 2
         try:
-            rows.append(sup.status())
+            rows = _collect_statuses(jobdirs)
         except JobError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-    if args.format == "json":
-        print(json.dumps(rows, indent=2, sort_keys=True))
-        return 0
-    for st in rows:
-        line = (
-            f"{st.get('name', '?'):24s} {st.get('kind', '?'):9s} "
-            f"{st['status']:11s}"
-        )
-        if "t" in st:
-            line += f" t={st['t']:.6g}"
-        if "blocksteps" in st:
-            line += f" blocksteps={st['blocksteps']}"
-        if "wall_s" in st:
-            line += f" wall={st['wall_s']:.1f}s"
-        if "regime" in st:
-            line += (
-                f" regime={st['regime']}"
-                f" ({st.get('n_regimes', 0)} seen,"
-                f" dominant {st.get('dominant_regime')}"
-                f" at {st.get('dominant_share', 0.0):.0%})"
-            )
-        if "fraction_of_peak" in st:
-            line += (
-                f" eff={st['fraction_of_peak']:.2%}"
-                f" ({st.get('real_gflops', 0.0):.3g} Gflops)"
-            )
-        line += (
-            f" checkpoints={len(st['checkpoints'])}"
-            f" records={st['archive_records']}"
-        )
-        if st.get("reason"):
-            line += f" ({st['reason']})"
-        if st.get("error"):
-            line += f" [{st['error']}]"
-        print(line)
+        if args.format == "json":
+            print(json.dumps(rows, indent=2, sort_keys=True))
+        else:
+            if watch is not None and shown:
+                print()  # blank line between refreshes, no screen games
+            for st in rows:
+                print(_status_line(st))
+        shown += 1
+        if watch is None or (iterations is not None and shown >= iterations):
+            return 0
+        sys.stdout.flush()
+        try:
+            time.sleep(watch)
+        except KeyboardInterrupt:
+            return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    jobdirs = _resolve_jobdirs(args)
+    if not jobdirs:
+        print("no jobs found", file=sys.stderr)
+        return 2
+    samples = []
+    for jobdir in jobdirs:
+        sup = Supervisor(jobdir)
+        try:
+            status = sup.status()
+        except JobError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        samples.extend(job_metrics(status.get("name", jobdir.name), status))
+    if args.out:
+        path = write_openmetrics(args.out, samples)
+        print(f"wrote {path} ({len(samples)} metric samples)",
+              file=sys.stderr)
+    else:
+        sys.stdout.write(render_openmetrics(samples))
     return 0
 
 
@@ -213,7 +273,26 @@ def build_parser() -> argparse.ArgumentParser:
                       help="job directories (default: all under --dir)")
     p_st.add_argument("--dir", default="jobs")
     p_st.add_argument("--format", choices=("text", "json"), default="text")
+    p_st.add_argument("--watch", type=float, default=None, metavar="SECONDS",
+                      help="re-render every SECONDS until interrupted "
+                      "(live view of a running job)")
+    p_st.add_argument("--iterations", type=int, default=None, metavar="N",
+                      help="with --watch, stop after N refreshes "
+                      "(default: run until interrupted)")
     p_st.set_defaults(func=_cmd_status)
+
+    p_met = sub.add_parser(
+        "metrics",
+        help="project job states into OpenMetrics gauges (Prometheus "
+        "text exposition: progress, efficiency, rank skew/utilisation)")
+    p_met.add_argument("jobdir", nargs="*",
+                       help="job directories (default: all under --dir)")
+    p_met.add_argument("--dir", default="jobs")
+    p_met.add_argument("--out", default=None, metavar="PATH",
+                       help="write to PATH (e.g. metrics.prom for a "
+                       "node-exporter textfile collector); stdout if "
+                       "omitted")
+    p_met.set_defaults(func=_cmd_metrics)
 
     p_tail = sub.add_parser("tail", help="print the newest snapshot-bus "
                             "records of a job")

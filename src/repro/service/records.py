@@ -23,6 +23,12 @@ afterwards:
     Gflops and loss-bucket fractions so far, plus the full
     ``repro.efficiency/1`` waterfall (nested under ``summary``; the
     flat scalars exist so ``tail`` shows them).
+``rank``
+    Rank-observatory snapshot: real-execution telemetry from the
+    dispatch observer — blocksteps/tasks dispatched so far, busy/idle
+    rank-time, utilisation, mean/max real straggler skew and publish
+    bytes per step (the flat scalars ``tail`` shows), plus the full
+    ``repro.rank_sample/1`` summary nested under ``summary``.
 ``checkpoint``
     A durable checkpoint hit disk (path, blockstep, t).
 ``discontinuity``
@@ -55,6 +61,7 @@ KIND_STATE = "state"
 KIND_PHASES = "phases"
 KIND_SIGNATURE = "signature"
 KIND_EFFICIENCY = "efficiency"
+KIND_RANK = "rank"
 KIND_CHECKPOINT = "checkpoint"
 KIND_DISCONTINUITY = "discontinuity"
 KIND_JOB = "job"
@@ -67,6 +74,7 @@ RECORD_KINDS = (
     KIND_PHASES,
     KIND_SIGNATURE,
     KIND_EFFICIENCY,
+    KIND_RANK,
     KIND_CHECKPOINT,
     KIND_DISCONTINUITY,
     KIND_JOB,

@@ -47,6 +47,7 @@ from ..io.checkpoint import (
 from ..io.snapshot import write_snapshot
 from ..telemetry import (
     FlopsLedger,
+    RankLedger,
     RegimeTracker,
     SignatureRecorder,
     StreamingPhaseSink,
@@ -74,6 +75,7 @@ from .records import (
     KIND_EFFICIENCY,
     KIND_JOB,
     KIND_PHASES,
+    KIND_RANK,
     KIND_SIGNATURE,
     KIND_STATE,
 )
@@ -197,6 +199,11 @@ class Supervisor:
         # exec_backend — and even a resume that switches it — is purely
         # a placement choice
         algorithm = build_parallel(params, exec_backend=spec.exec_backend)
+        # rank observatory: real-execution telemetry from the dispatch
+        # observer; keep=False — running totals only, O(1) for
+        # unbounded runs (no per-blockstep records, so no placement
+        # cross-attribution here — the bench harness does that)
+        ranks = RankLedger(keep=False) if algorithm is not None else None
 
         if resume:
             ck_path = self.paths.latest_checkpoint()
@@ -245,6 +252,9 @@ class Supervisor:
             rng = np.random.default_rng(params.get("seed", 1))
             wall_consumed = 0.0
 
+        if ranks is not None and hasattr(integ, "observe_ranks"):
+            integ.observe_ranks(ranks)
+
         bus.emit(
             KIND_JOB,
             t=integ.t,
@@ -284,12 +294,15 @@ class Supervisor:
             if eff.count:
                 bus.emit(KIND_EFFICIENCY, t=integ.t,
                          **_efficiency_payload(eff))
+            if ranks is not None and ranks.count:
+                bus.emit(KIND_RANK, t=integ.t, **_rank_payload(ranks))
             write_state(
                 self.paths, "running", name=spec.name, kind=spec.kind,
                 t=integ.t, blocksteps=integ.stats.blocksteps,
                 wall_s=total_wall(), last_checkpoint=str(path),
                 **_regime_state(regimes),
                 **_efficiency_state(eff),
+                **_rank_state(ranks),
             )
             return path
 
@@ -348,6 +361,7 @@ class Supervisor:
                 last_checkpoint=str(path),
                 **_regime_state(regimes),
                 **_efficiency_state(eff),
+                **_rank_state(ranks),
             )
             return "interrupted"
 
@@ -369,6 +383,7 @@ class Supervisor:
             final_snapshot=str(self.paths.final_snapshot),
             **_regime_state(regimes),
             **_efficiency_state(eff),
+            **_rank_state(ranks),
         )
         return "completed"
 
@@ -504,6 +519,43 @@ def _efficiency_payload(eff: "FlopsLedger") -> dict[str, Any]:
             key=lambda b: summary["buckets"][b]["fraction"],
         ),
         "summary": summary,
+    }
+
+
+def _rank_payload(ranks: "RankLedger") -> dict[str, Any]:
+    """Bus payload of the rank observatory's running account: flat
+    scalars (so ``tail``'s text mode shows them) plus the nested
+    ``repro.rank_sample/1`` summary document."""
+    summary = ranks.summary()
+    return {
+        "blocksteps": summary["blocksteps"],
+        "tasks": summary["tasks"],
+        "n_ranks": summary["n_ranks"],
+        "utilisation": summary["utilisation"],
+        "real_skew_us_mean": summary["real_skew_us"]["mean"],
+        "real_skew_us_max": summary["real_skew_us"]["max"],
+        "publish_bytes_per_step": summary["publish_bytes_per_step"],
+        "summary": summary,
+    }
+
+
+def _rank_state(ranks: "RankLedger | None") -> dict[str, Any]:
+    """The ``state.json`` face of the rank observatory (``status``
+    shows it; ``service metrics`` projects it into gauges)."""
+    if ranks is None or not ranks.count:
+        return {}
+    return {
+        "rank": {
+            "n_ranks": ranks.n_ranks,
+            "real_skew_us_mean": ranks.mean_real_skew_us(),
+            "utilisation": (
+                ranks.busy_total_us / ranks.rank_span_us
+                if ranks.rank_span_us > 0 else 0.0
+            ),
+            "publish_bytes_per_step": (
+                ranks.publish_bytes / ranks.count if ranks.count else 0.0
+            ),
+        },
     }
 
 

@@ -111,6 +111,27 @@ from .efficiency import (
     efficiency_trace_events,
     validate_efficiency,
 )
+from .ranks import (
+    IDLE_BUCKETS,
+    RANK_PID,
+    RANK_SAMPLE_SCHEMA,
+    RankBlockstep,
+    RankError,
+    RankLedger,
+    rank_trace_events,
+    ranks_from_reports,
+    validate_rank_record,
+    validate_rank_section,
+)
+from .openmetrics import (
+    OpenMetricsError,
+    artifact_metrics,
+    job_metrics,
+    parse_openmetrics,
+    rank_summary_metrics,
+    render_openmetrics,
+    write_openmetrics,
+)
 
 __all__ = [
     "Tracer",
@@ -183,4 +204,21 @@ __all__ = [
     "efficiency_from_events",
     "efficiency_trace_events",
     "validate_efficiency",
+    "RankLedger",
+    "RankBlockstep",
+    "RankError",
+    "RANK_SAMPLE_SCHEMA",
+    "RANK_PID",
+    "IDLE_BUCKETS",
+    "rank_trace_events",
+    "ranks_from_reports",
+    "validate_rank_record",
+    "validate_rank_section",
+    "OpenMetricsError",
+    "render_openmetrics",
+    "parse_openmetrics",
+    "write_openmetrics",
+    "artifact_metrics",
+    "job_metrics",
+    "rank_summary_metrics",
 ]

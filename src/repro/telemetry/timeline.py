@@ -45,6 +45,7 @@ TRACE_PIDS: dict[str, int] = {
     "comm": 3,
     "regimes": 40,
     "efficiency": 50,
+    "ranks": 60,
 }
 
 if len(set(TRACE_PIDS.values())) != len(TRACE_PIDS):  # pragma: no cover

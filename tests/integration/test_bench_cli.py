@@ -140,6 +140,50 @@ class TestCLI:
             assert bench.name in out
 
 
+class TestRankObservatoryBench:
+    """The exec_observatory benchmark and its surfacing: a validated
+    rank section in the artifact and the ``--metrics`` exposition."""
+
+    def test_artifact_rank_section_validates(self, micro_artifact):
+        from repro.telemetry import validate_rank_section
+
+        entry = next(
+            e for e in micro_artifact["benchmarks"]
+            if e["name"] == "exec_observatory"
+        )
+        rank = entry["rank"]
+        validate_rank_section(rank)
+        assert rank["tasks"] > 0
+        assert rank["n_ranks"] == entry["params"]["ranks"]
+        assert rank["placement"]["blocksteps"] == rank["blocksteps"]
+        derived = entry["derived"]
+        assert derived["bit_identical"] == 1.0
+        assert derived["virtual_identical"] == 1.0
+        assert derived["publish_bytes_per_step"] > 0.0
+        assert derived["real_skew_us"] >= 0.0
+
+    def test_run_metrics_flag_writes_exposition(self, tmp_path, capsys):
+        from repro.telemetry import parse_openmetrics
+
+        art = tmp_path / "BENCH_m.json"
+        prom = tmp_path / "metrics.prom"
+        rc = main([
+            "run", "--suite", "micro", "--repeats", "1", "--warmup", "0",
+            "--bench", "exec_observatory",
+            "--out", str(art), "--metrics", str(prom),
+        ])
+        assert rc == 0
+        samples = parse_openmetrics(prom.read_text())
+        by_name = {name: value for name, _, value in samples}
+        assert by_name["repro_bench_wall_seconds_median"] > 0.0
+        assert by_name["repro_rank_tasks"] > 0.0
+        assert 0.0 <= by_name["repro_rank_utilisation"] <= 1.0
+        labels = next(
+            l for n, l, _ in samples if n == "repro_rank_tasks"
+        )
+        assert labels["benchmark"] == "exec_observatory"
+
+
 class TestCommCLI:
     """The observability loop: run -> calibrate -> calibrated compare,
     plus the ledger capture and history prune subcommands."""

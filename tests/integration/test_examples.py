@@ -97,6 +97,24 @@ class TestExamplesRun:
         assert "regime lane" in out
         assert "sampled-run estimate" in out
 
+    def test_rank_observatory_demo(self, capsys, tmp_path):
+        import json
+
+        from repro.telemetry import RANK_PID, validate_timeline
+
+        trace = tmp_path / "ranks.json"
+        out = run_example(
+            "rank_observatory_demo.py", "24", str(trace), capsys=capsys
+        )
+        assert "bit-identical with observer attached: True" in out
+        assert "per-rank real-execution account" in out
+        assert "placement gap" in out
+        doc = validate_timeline(json.loads(trace.read_text()))
+        assert any(
+            e.get("pid") == RANK_PID and e["ph"] == "X"
+            for e in doc["traceEvents"]
+        )
+
     @pytest.mark.parametrize(
         "name,args",
         [("star_cluster.py", ("64",)), ("planetesimal_accretion.py", ("40",))],

@@ -319,3 +319,81 @@ class TestParallelRunJob:
         del params["algorithm"]
         spec = write_parallel_spec(tmp_path / "bad.json", params=params)
         assert main(["validate", str(spec)]) == 2
+
+
+class TestRankObservatoryService:
+    """Parallel run jobs stream real-execution rank telemetry through
+    the bus, the state document, the status line and ``metrics``."""
+
+    @pytest.fixture(scope="class")
+    def rank_job(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("rankjob")
+        spec = write_parallel_spec(root / "job.json", name="rankjob",
+                                   exec_backend="thread:2")
+        assert main(["submit", str(spec), "--dir", str(root / "jobs")]) == 0
+        return root / "jobs" / "rankjob"
+
+    def test_rank_records_on_bus(self, rank_job):
+        from repro.telemetry import validate_rank_section
+
+        records = [r for r in read_archive(rank_job / "bus.jsonl")
+                   if r.kind == "rank"]
+        assert records, "run emitted no rank records"
+        for rec in records:
+            payload = rec.payload
+            assert payload["blocksteps"] > 0 and payload["tasks"] > 0
+            assert payload["n_ranks"] == PARALLEL_PARAMS["ranks"]
+            assert 0.0 <= payload["utilisation"] <= 1.0
+            assert payload["real_skew_us_mean"] >= 0.0
+            validate_rank_section(payload["summary"])
+        counts = [r.payload["blocksteps"] for r in records]
+        assert counts == sorted(counts)
+
+    def test_state_carries_rank_section(self, rank_job):
+        state = json.loads((rank_job / "state.json").read_text())
+        rank = state["rank"]
+        assert rank["n_ranks"] == PARALLEL_PARAMS["ranks"]
+        assert 0.0 <= rank["utilisation"] <= 1.0
+        assert rank["real_skew_us_mean"] >= 0.0
+        assert rank["publish_bytes_per_step"] > 0.0
+
+    def test_status_line_shows_ranks(self, rank_job, capsys):
+        assert main(["status", str(rank_job)]) == 0
+        line = capsys.readouterr().out
+        assert f"ranks={PARALLEL_PARAMS['ranks']}" in line
+        assert "util=" in line and "skew=" in line
+
+    def test_status_watch_refreshes(self, rank_job, capsys):
+        assert main(["status", str(rank_job), "--watch", "0.01",
+                     "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("rankjob") == 2
+        assert "\n\n" in out  # blank line between refreshes
+
+    def test_tail_rank_records(self, rank_job, capsys):
+        assert main(["tail", str(rank_job), "-n", "3",
+                     "--kind", "rank"]) == 0
+        out = capsys.readouterr().out
+        assert "rank" in out and "utilisation=" in out
+
+    def test_metrics_exposition_round_trips(self, rank_job, capsys):
+        from repro.telemetry import parse_openmetrics
+
+        assert main(["metrics", str(rank_job)]) == 0
+        text = capsys.readouterr().out
+        samples = {name: value
+                   for name, _, value in parse_openmetrics(text)}
+        assert samples["repro_job_blocksteps"] > 0
+        assert samples["repro_job_checkpoints"] >= 1
+        assert 0.0 <= samples["repro_job_rank_utilisation"] <= 1.0
+        assert samples["repro_job_real_skew_us_mean"] >= 0.0
+
+    def test_metrics_out_writes_file(self, rank_job, tmp_path, capsys):
+        from repro.telemetry import parse_openmetrics
+
+        out = tmp_path / "metrics.prom"
+        assert main(["metrics", str(rank_job), "--out", str(out)]) == 0
+        assert parse_openmetrics(out.read_text())
+
+    def test_metrics_no_jobs_is_exit_2(self, tmp_path, capsys):
+        assert main(["metrics", "--dir", str(tmp_path / "empty")]) == 2

@@ -1,0 +1,116 @@
+"""Property: the rank observatory never changes a single output bit.
+
+The standing guarantee of the observability PR: attaching the rank
+observatory (which brackets every ``run_tasks`` dispatch with real
+clocks and rusage counters) must leave the physics bitwise identical —
+on every execution backend, observer on or off.  The second family
+pins the ledger's arithmetic on adversarial inputs: the
+``busy + idle == span`` identity is exact, the placement split is
+sum-preserving, and no input produces NaN.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import plummer_model
+from repro.parallel import (
+    CopyAlgorithm,
+    ParallelBlockIntegrator,
+    SimNetwork,
+    resolve_backend,
+)
+from repro.telemetry import (
+    RankLedger,
+    validate_rank_record,
+    validate_rank_section,
+)
+
+EPS2 = 1.0 / 4096.0
+N = 24
+SEED = 42
+STEPS = 8
+SPECS = ["inline", "thread:2", "process:2"]
+
+
+def run(spec, observed):
+    """Integrate STEPS blocksteps on ``spec``; returns (system, ledger)."""
+    system = plummer_model(N, seed=SEED)
+    algo = CopyAlgorithm(SimNetwork(2), EPS2, executor=resolve_backend(spec))
+    ledger = RankLedger() if observed else None
+    try:
+        integ = ParallelBlockIntegrator(system, EPS2, algo)
+        if ledger is not None:
+            integ.observe_ranks(ledger)
+        for _ in range(STEPS):
+            integ.step()
+    finally:
+        algo.executor.close()
+    return system, ledger
+
+
+def state(system):
+    return (system.pos.copy(), system.vel.copy(), system.t.copy())
+
+
+class TestObservatoryBitIdentity:
+    @pytest.mark.parametrize("spec", SPECS)
+    def test_observer_on_vs_off_is_bitwise_identical(self, spec):
+        bare, _ = run(spec, observed=False)
+        observed, ledger = run(spec, observed=True)
+        for a, b in zip(state(bare), state(observed)):
+            np.testing.assert_array_equal(a, b)
+        # and the observation actually happened
+        assert ledger.tasks > 0
+        validate_rank_section(ledger.summary())
+
+    def test_observed_backends_all_match_the_inline_reference(self):
+        reference = state(run("inline", observed=False)[0])
+        for spec in SPECS:
+            system, ledger = run(spec, observed=True)
+            for a, b in zip(reference, state(system)):
+                np.testing.assert_array_equal(a, b)
+            for rec in ledger.records:
+                validate_rank_record(rec.as_record())
+
+
+samples = st.fixed_dictionaries({
+    "rank": st.integers(0, 3),
+    "wall_us": st.floats(0.0, 1.0e5, allow_nan=False),
+    "cpu_us": st.floats(0.0, 1.0e5, allow_nan=False),
+    "attach_bytes": st.integers(0, 1 << 20),
+})
+reports = st.fixed_dictionaries({
+    "backend": st.sampled_from(["inline", "thread", "process"]),
+    "span_wall_us": st.floats(0.0, 1.0e6, allow_nan=False),
+    "t_start_us": st.floats(0.0, 1.0e9, allow_nan=False),
+    "publish_bytes": st.integers(0, 1 << 24),
+    "samples": st.lists(samples, max_size=6),
+})
+blocksteps = st.lists(st.lists(reports, max_size=3), min_size=1, max_size=6)
+
+
+def exact(a, b):
+    """Equal up to float re-association (the validators' tolerance)."""
+    return abs(a - b) <= max(1e-9 * max(abs(b), 1.0), 1e-6)
+
+
+class TestLedgerArithmeticProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(blocksteps)
+    def test_identity_and_placement_split_are_exact(self, steps):
+        ledger = RankLedger()
+        for step in steps:
+            for rep in step:
+                ledger.observe(rep)
+            rec = ledger.advance()
+            for busy, idle in zip(rec.busy_us, rec.idle_us):
+                assert exact(busy + idle, rec.span_wall_us)
+            validate_rank_record(rec.as_record())
+        doc = ledger.summary(comm={"mean_barrier_skew_us": 1.0})
+        validate_rank_section(doc)
+        placement = doc["placement"]
+        buckets = placement["buckets"]
+        total = buckets["imbalance"]["us"] + buckets["overhead"]["us"]
+        assert exact(total, placement["idle_us"])  # sum-preserving split

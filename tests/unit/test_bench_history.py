@@ -387,3 +387,92 @@ class TestRegimeColumns:
         )
         text = render_history_plot(rows)
         assert "regimes" in text and "dom share" in text
+
+
+# -- rank-observatory columns ------------------------------------------------
+
+
+def rank_section(skew_total, span=1000.0):
+    """A real RankLedger summary with a chosen straggler skew: one
+    blockstep, two ranks, real skew exactly ``skew_total``."""
+    from repro.telemetry import RankLedger
+
+    ledger = RankLedger()
+    ledger.observe({
+        "backend": "thread", "span_wall_us": span, "t_start_us": 1.0,
+        "publish_bytes": 128,
+        "samples": [
+            {"rank": 0, "wall_us": skew_total + 100.0, "cpu_us": 1.0},
+            {"rank": 1, "wall_us": 100.0, "cpu_us": 1.0},
+        ],
+    })
+    ledger.advance()
+    return ledger.summary(
+        comm={"mean_barrier_skew_us": max(skew_total - 3.0, 0.0)}
+    )
+
+
+def ranked_artifact(medians, skew_total, span=1000.0, env=ENV_A, **kw):
+    """An artifact whose benchmarks carry a rank-observatory section."""
+    art = make_artifact(medians, env=env, **kw)
+    for entry in art["benchmarks"]:
+        entry["rank"] = rank_section(skew_total, span=span)
+    return art
+
+
+def ingest_ranked_sequence(path, skew_totals):
+    for i, skew in enumerate(skew_totals):
+        env = {**ENV_A, "git_revision": f"rev{i:04d}"}
+        ingest_artifact(ranked_artifact({"k": 1.0}, skew, env=env), path)
+    return read_history(path)
+
+
+class TestSkewColumns:
+    def test_row_distils_rank_section(self):
+        row = artifact_row(ranked_artifact({"k": 1.0}, 200.0, span=1000.0))
+        rank = row["benchmarks"]["k"]["rank"]
+        assert rank["skew_fraction"] == pytest.approx(0.2)
+        assert rank["real_skew_us_mean"] == pytest.approx(200.0)
+        # busy (300 + 100) of 2x1000 rank-time
+        assert rank["utilisation"] == pytest.approx(0.2)
+        assert rank["publish_bytes_per_step"] == 128.0
+        assert rank["placement_gap_us_mean"] == pytest.approx(3.0)
+
+    def test_rows_without_rank_stay_clean(self):
+        row = artifact_row(make_artifact({"k": 1.0}))
+        assert "rank" not in row["benchmarks"]["k"]
+
+    def test_zero_span_yields_zero_fraction(self):
+        row = artifact_row(ranked_artifact({"k": 1.0}, 5.0, span=0.0))
+        assert row["benchmarks"]["k"]["rank"]["skew_fraction"] == 0.0
+
+    def test_skew_flag_on_fraction_jump(self, tmp_path):
+        rows = ingest_ranked_sequence(
+            tmp_path / "h.jsonl",
+            # fractions 0.05 -> 0.30 (jump 0.25: SKEW) -> 0.30 (stable)
+            [50.0, 300.0, 300.0],
+        )
+        (points,) = trajectory(rows).values()
+        assert points[0].skew_jump is None
+        assert points[1].skewed()
+        assert points[1].skew_jump == pytest.approx(0.25)
+        assert not points[2].skewed()
+
+    def test_skew_easing_is_not_flagged(self, tmp_path):
+        """The flag is one-sided: the machine getting *more* balanced
+        is good news, not an alert."""
+        rows = ingest_ranked_sequence(
+            tmp_path / "h.jsonl", [300.0, 50.0]
+        )
+        (points,) = trajectory(rows).values()
+        assert points[1].skew_jump == pytest.approx(-0.25)
+        assert not points[1].skewed()
+
+    def test_table_renders_skew_column_and_flag(self, tmp_path):
+        rows = ingest_ranked_sequence(
+            tmp_path / "h.jsonl", [50.0, 300.0]
+        )
+        text = render_history_table(rows)
+        assert "skew" in text
+        assert "30.0%" in text
+        assert "SKEW" in text

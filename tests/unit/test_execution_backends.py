@@ -60,9 +60,15 @@ class TestResolveBackend:
         with pytest.raises(ValueError, match="worker count"):
             resolve_backend("thread:lots")
 
-    def test_nonpositive_workers_rejected(self):
-        with pytest.raises(ValueError):
-            resolve_backend("thread:0")
+    @pytest.mark.parametrize("spec", ["thread:0", "process:-1", "inline:0"])
+    def test_nonpositive_workers_rejected(self, spec):
+        """A non-positive ``:N`` suffix fails up front, naming the
+        offending spec, instead of surfacing later as a bare pool
+        construction error."""
+        with pytest.raises(ValueError, match="non-positive worker count"):
+            resolve_backend(spec)
+        with pytest.raises(ValueError, match=spec):
+            resolve_backend(spec)
 
 
 class TestSelectRows:
@@ -167,6 +173,181 @@ class TestBackendsRunKernels:
             backend.close()
         ref = _reference_tile(b, None, None, True)
         np.testing.assert_array_equal(res["acc"], ref.acc)
+
+
+@pytest.mark.parametrize("spec", ["inline", "thread:2", "process:2"])
+class TestDispatchObserver:
+    """The rank observatory's capture layer: every ``run_tasks`` with an
+    observer attached yields one report dict with per-task sidecar
+    samples, and the kernel results are unchanged by observation."""
+
+    def _publish(self, backend, system):
+        backend.publish(
+            ix=system.pos, iv=system.vel,
+            jx=system.pos, jv=system.vel, jm=system.mass,
+        )
+
+    def _tasks(self, n, ranks):
+        return [
+            RankTask("forces", r, {
+                "i_rows": ("stride", r, n, ranks),
+                "j_rows": None,
+                "eps2": EPS2,
+                "exclude_self": True,
+            })
+            for r in range(ranks)
+        ]
+
+    def test_report_shape_and_samples(self, spec):
+        system = plummer_model(18, seed=21)
+        backend = resolve_backend(spec)
+        reports = []
+        backend.attach_observer(reports.append)
+        try:
+            self._publish(backend, system)
+            results = backend.run_tasks(self._tasks(18, 2))
+        finally:
+            backend.close()
+        assert len(results) == 2
+        assert len(reports) == 1
+        rep = reports[0]
+        assert rep["backend"] == spec.partition(":")[0]
+        assert rep["n_tasks"] == 2
+        assert rep["span_wall_us"] >= 0.0
+        assert rep["t_start_us"] > 0.0
+        assert len(rep["samples"]) == 2
+        for sample, task in zip(rep["samples"], self._tasks(18, 2)):
+            assert sample["rank"] == task.rank
+            assert sample["pid"] > 0
+            assert sample["wall_us"] >= 0.0 and np.isfinite(sample["wall_us"])
+            assert sample["cpu_us"] >= 0.0 and np.isfinite(sample["cpu_us"])
+            assert sample["attach_bytes"] >= 0
+
+    def test_results_identical_with_observer(self, spec):
+        """The standing guarantee: observation never changes a bit."""
+        system = plummer_model(20, seed=23)
+        bare = resolve_backend(spec)
+        observed = resolve_backend(spec)
+        observed.attach_observer(lambda rep: None)
+        try:
+            self._publish(bare, system)
+            self._publish(observed, system)
+            res_bare = bare.run_tasks(self._tasks(20, 2))
+            res_obs = observed.run_tasks(self._tasks(20, 2))
+        finally:
+            bare.close()
+            observed.close()
+        for a, b in zip(res_bare, res_obs):
+            np.testing.assert_array_equal(a["acc"], b["acc"])
+            np.testing.assert_array_equal(a["jerk"], b["jerk"])
+            np.testing.assert_array_equal(a["pot"], b["pot"])
+            assert a["interactions"] == b["interactions"]
+
+    def test_empty_dispatch_reports_zero_tasks(self, spec):
+        backend = resolve_backend(spec)
+        reports = []
+        backend.attach_observer(reports.append)
+        try:
+            assert backend.run_tasks([]) == []
+        finally:
+            backend.close()
+        assert len(reports) == 1
+        assert reports[0]["n_tasks"] == 0
+        assert reports[0]["samples"] == []
+
+    def test_publish_bytes_counted_and_reset(self, spec):
+        system = plummer_model(16, seed=25)
+        nbytes = (
+            system.pos.nbytes + system.vel.nbytes
+        ) * 2 + system.mass.nbytes
+        backend = resolve_backend(spec)
+        reports = []
+        backend.attach_observer(reports.append)
+        try:
+            self._publish(backend, system)
+            backend.run_tasks(self._tasks(16, 2))
+            # no publish between dispatches: the second report owes 0
+            backend.run_tasks(self._tasks(16, 2))
+        finally:
+            backend.close()
+        assert reports[0]["publish_bytes"] == nbytes
+        assert reports[1]["publish_bytes"] == 0
+        assert backend.publish_bytes == nbytes
+
+    def test_detach_observer_silences_reports(self, spec):
+        system = plummer_model(12, seed=27)
+        backend = resolve_backend(spec)
+        reports = []
+        backend.attach_observer(reports.append)
+        try:
+            self._publish(backend, system)
+            backend.run_tasks(self._tasks(12, 2))
+            backend.detach_observer()
+            backend.run_tasks(self._tasks(12, 2))
+        finally:
+            backend.close()
+        assert len(reports) == 1
+
+
+class TestWorkerArenaCache:
+    """The worker-side shared-memory cache (``_attach_arena``) must not
+    leak handles: a key the driver stops publishing is closed and
+    evicted, not abandoned (regression — it used to linger forever)."""
+
+    def _segment(self, values):
+        from multiprocessing import shared_memory
+
+        arr = np.asarray(values, dtype=np.float64)
+        shm = shared_memory.SharedMemory(create=True, size=arr.nbytes)
+        np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)[...] = arr
+        return shm, (shm.name, arr.dtype.str, arr.shape)
+
+    def test_stale_key_is_closed_and_evicted(self):
+        from repro.parallel import execution
+
+        shm_a, meta_a = self._segment([1.0, 2.0, 3.0])
+        shm_b, meta_b = self._segment([4.0, 5.0])
+        saved = dict(execution._ATTACHED)
+        execution._ATTACHED.clear()
+        try:
+            arena, attached = execution._attach_arena({"a": meta_a})
+            np.testing.assert_array_equal(arena["a"], [1.0, 2.0, 3.0])
+            assert attached >= 24
+            cached_a = execution._ATTACHED["a"]
+
+            # driver stops publishing "a": the handle must be closed,
+            # not just dropped from the returned arena
+            arena, _ = execution._attach_arena({"b": meta_b})
+            assert set(execution._ATTACHED) == {"b"}
+            assert "a" not in arena
+            assert cached_a.buf is None  # closed, not merely dropped
+        finally:
+            for shm in execution._ATTACHED.values():
+                shm.close()
+            execution._ATTACHED.clear()
+            execution._ATTACHED.update(saved)
+            for shm in (shm_a, shm_b):
+                shm.close()
+                shm.unlink()
+
+    def test_warm_reattach_is_free(self):
+        from repro.parallel import execution
+
+        shm, meta = self._segment([7.0, 8.0])
+        saved = dict(execution._ATTACHED)
+        execution._ATTACHED.clear()
+        try:
+            _, cold = execution._attach_arena({"x": meta})
+            _, warm = execution._attach_arena({"x": meta})
+            assert cold >= 16
+            assert warm == 0
+        finally:
+            for cached in execution._ATTACHED.values():
+                cached.close()
+            execution._ATTACHED.clear()
+            execution._ATTACHED.update(saved)
+            shm.close()
+            shm.unlink()
 
 
 class TestProcessBackendArena:
